@@ -1,0 +1,28 @@
+"""Section 5.4.2: how often do flows cross a crate boundary?
+
+The paper finds that 96% of analysed variables have flows reaching at least
+one call across a crate boundary (where even Whole-program must fall back to
+the modular rule), and that the Modular-vs-Whole-program differences are far
+more common among those variables (6.6% vs 0.6%).  This benchmark reproduces
+the study over the synthetic corpus, where dependency-crate externs play the
+role of pre-compiled crates.
+"""
+
+from conftest import write_report
+
+from repro.eval.experiments import crate_boundary_study
+from repro.eval.report import render_boundary_study
+
+
+def test_crate_boundary_study(benchmark, experiment, report_dir):
+    study = benchmark.pedantic(crate_boundary_study, args=(experiment,), rounds=1, iterations=1)
+
+    assert study.total_variables > 0
+    # A substantial share of flows reach the dependency crate.
+    assert study.fraction_boundary > 0.15
+    # Modular-vs-Whole-program differences are concentrated on (or at least
+    # not absent from) boundary-crossing variables, as in the paper.
+    assert study.nonzero_rate_with_boundary >= study.nonzero_rate_without_boundary * 0.9
+    assert study.nonzero_with_boundary + study.nonzero_without_boundary > 0
+
+    write_report(report_dir, "crate_boundary_study", render_boundary_study(experiment))

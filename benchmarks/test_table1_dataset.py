@@ -1,0 +1,44 @@
+"""Table 1: dataset statistics of the (substituted) evaluation corpus.
+
+The paper reports LOC, number of variables, number of functions, and average
+MIR instructions per function for each of the ten crates.  This benchmark
+regenerates the same rows over the synthetic corpus and measures the cost of
+the front-end pipeline (parse + type check + lower) that produces them.
+"""
+
+from conftest import write_report
+
+from repro.eval.corpus import PAPER_CRATE_SPECS, generate_crate
+from repro.eval.metrics import collect_metrics, dataset_table
+from repro.eval.report import render_table1
+
+
+def test_table1_dataset_statistics(benchmark, corpus, report_dir):
+    metrics = benchmark.pedantic(collect_metrics, args=(corpus,), rounds=1, iterations=1)
+
+    # Structural checks: ten crates, ordered by variable count, totals add up.
+    assert len(metrics.crates) == len(corpus)
+    ordered = metrics.sorted_by_variables()
+    assert [c.num_variables for c in ordered] == sorted(c.num_variables for c in ordered)
+    totals = metrics.totals()
+    assert totals["funcs"] == sum(c.num_functions for c in metrics.crates)
+    assert totals["vars"] == sum(c.num_variables for c in metrics.crates)
+
+    # Every crate averages multiple MIR instructions per function, like the
+    # paper's 16.6–115.4 range (absolute values differ at reduced scale).
+    for crate_metrics in metrics.crates:
+        assert crate_metrics.avg_instrs_per_fn >= 5.0
+
+    write_report(report_dir, "table1_dataset", render_table1(corpus))
+
+
+def test_table1_single_crate_frontend_cost(benchmark):
+    """Cost of generating + checking + lowering one mid-sized crate."""
+    spec = PAPER_CRATE_SPECS[0].scaled(0.35)
+
+    def pipeline():
+        generated = generate_crate(spec)
+        return dataset_table([generated])
+
+    rows = benchmark(pipeline)
+    assert rows[0]["crate"] == spec.name

@@ -1,0 +1,38 @@
+"""Precision ablation on a miniature corpus (a taste of Section 5).
+
+Generates a scaled-down version of the paper's evaluation corpus, runs the
+four analysis conditions (Modular, Whole-program, Mut-blind, Ref-blind) over
+every function, and prints the headline precision comparison plus the
+Figure 2 histogram.  The full-scale version of this pipeline lives in
+``benchmarks/``.
+
+Run with::
+
+    python examples/precision_ablation.py
+"""
+
+from repro.eval.corpus import generate_corpus
+from repro.eval.experiments import primary_experiment_conditions, run_conditions
+from repro.eval.report import (
+    render_boundary_study,
+    render_figure2,
+    render_summary_table,
+    render_table1,
+)
+
+
+def main() -> None:
+    corpus = generate_corpus(scale=0.25)
+    print(render_table1(corpus))
+    print()
+
+    data = run_conditions(corpus, primary_experiment_conditions())
+    print(render_summary_table(data))
+    print()
+    print(render_figure2(data))
+    print()
+    print(render_boundary_study(data))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: analyse information flow in a small MiniRust function.
+
+Reproduces the paper's running example (Figure 1): a ``get_count`` function
+over a hash map, where the interesting flows are (1) ``insert`` mutating the
+map because it takes ``&mut self``, and (2) the map picking up an *indirect*
+dependency on the ``contains_key`` result because the ``insert`` call is
+control-dependent on it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AnalysisConfig, FlowEngine, pretty_body
+
+
+GET_COUNT = """
+struct HashMap;
+
+extern fn contains_key(h: &HashMap, k: u32) -> bool;
+extern fn insert(h: &mut HashMap, k: u32, v: u32);
+extern fn get(h: &HashMap, k: u32) -> u32;
+
+// Figure 1 of the paper: find a value for a key, inserting 0 if absent.
+fn get_count(h: &mut HashMap, k: u32) -> u32 {
+    if !contains_key(h, k) {
+        insert(h, k, 0);
+        0
+    } else {
+        get(h, k)
+    }
+}
+"""
+
+
+def main() -> None:
+    engine = FlowEngine.from_source(GET_COUNT, config=AnalysisConfig())
+    result = engine.analyze_function("get_count")
+
+    print("=" * 72)
+    print("MIR of get_count, annotated with the dependency context Θ")
+    print("(compare with Figure 1 of the paper)")
+    print("=" * 72)
+    print(pretty_body(result.body, result.annotations()))
+    print()
+
+    print("Dependency-set sizes at the function exit:")
+    for variable, size in sorted(result.dependency_sizes().items()):
+        print(f"  {variable:10} {size:3} dependencies")
+    print()
+
+    return_deps = sorted(loc.pretty() for loc in result.backward_slice_of_variable("h"))
+    print("Backward slice of `h` (locations that may influence the map):")
+    for location in return_deps:
+        instruction = result.body.instruction_at(
+            next(l for l in result.body.locations() if l.pretty() == location)
+        )
+        print(f"  {location:9} {instruction.pretty(result.body)}")
+    print()
+    print(
+        "Note how the insert call and the switch on contains_key both appear: "
+        "the first is a direct mutation through &mut, the second an indirect "
+        "(control) flow — exactly the two flows highlighted in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,250 @@
+"""An information flow control (IFC) checker built on the analysis.
+
+Reproduces the Figure 5b prototype.  In the paper, a library exposes
+``Secure`` and ``Insecure`` traits; a compiler plugin then reports any flow
+from a value whose type implements ``Secure`` into an operation marked
+``Insecure``.  MiniRust has no traits, so the policy is expressed directly:
+
+* *sources* are variables or struct types labelled ``SECRET``,
+* *sinks* are functions labelled ``INSECURE`` (for example an
+  ``insecure_print`` extern).
+
+A violation is reported when any argument of a sink call — or the decision to
+execute the sink call at all (an implicit flow through control dependence,
+exactly the case in Figure 5b where the print is guarded by a password
+comparison) — depends on a source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.analysis import FunctionFlowResult
+from repro.core.config import AnalysisConfig
+from repro.core.engine import FlowEngine
+from repro.core.theta import is_arg_location
+from repro.mir.ir import Body, CallTerminator, Location, Place
+from repro.lang.types import RefType, StructType, Type
+
+
+class SecurityLabel(Enum):
+    """The two-point lattice used by the checker."""
+
+    PUBLIC = "public"
+    SECRET = "secret"
+
+
+@dataclass
+class IfcPolicy:
+    """What counts as secret data and as an insecure operation.
+
+    ``secret_types``: struct names whose values are secret (the paper's
+    ``Secure`` trait impls, e.g. ``Password``).
+    ``secret_variables``: ``(function, variable)`` pairs or ``("*", name)``
+    wildcards marking specific locals as secret.
+    ``insecure_functions``: names of sink functions (the paper's
+    ``Insecure`` operations, e.g. ``insecure_print``).
+    ``declassified_functions``: calls through which flows are permitted
+    (an escape hatch, like ``declassify`` in classic IFC systems).
+    """
+
+    secret_types: Set[str] = field(default_factory=set)
+    secret_variables: Set[Tuple[str, str]] = field(default_factory=set)
+    insecure_functions: Set[str] = field(default_factory=set)
+    declassified_functions: Set[str] = field(default_factory=set)
+
+    def mark_type_secret(self, type_name: str) -> "IfcPolicy":
+        self.secret_types.add(type_name)
+        return self
+
+    def mark_variable_secret(self, fn_name: str, variable: str) -> "IfcPolicy":
+        self.secret_variables.add((fn_name, variable))
+        return self
+
+    def mark_function_insecure(self, fn_name: str) -> "IfcPolicy":
+        self.insecure_functions.add(fn_name)
+        return self
+
+    def is_variable_secret(self, fn_name: str, variable: str) -> bool:
+        return (fn_name, variable) in self.secret_variables or ("*", variable) in self.secret_variables
+
+    def type_is_secret(self, ty: Optional[Type]) -> bool:
+        if ty is None:
+            return False
+        for component in ty.walk():
+            if isinstance(component, StructType) and component.name in self.secret_types:
+                return True
+            if isinstance(component, RefType) and self.type_is_secret(component.pointee):
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class IfcViolation:
+    """One flow from secret data into an insecure operation."""
+
+    fn_name: str
+    sink_function: str
+    sink_location: Location
+    source_description: str
+    via_control_flow: bool
+    line: int = 0
+
+    def render(self) -> str:
+        kind = "implicit (control) flow" if self.via_control_flow else "explicit data flow"
+        where = f" at line {self.line}" if self.line else ""
+        return (
+            f"[{self.fn_name}] {kind} from {self.source_description} "
+            f"into insecure operation `{self.sink_function}`{where}"
+        )
+
+
+class IfcChecker:
+    """Checks every function of a program against an :class:`IfcPolicy`."""
+
+    def __init__(
+        self,
+        source: str,
+        policy: IfcPolicy,
+        config: Optional[AnalysisConfig] = None,
+    ):
+        self.policy = policy
+        self.engine = FlowEngine.from_source(source, config=config)
+
+    # -- secret seeds ---------------------------------------------------------------
+
+    def _secret_places(self, result: FunctionFlowResult) -> Dict[Place, str]:
+        """Places of the analysed function that hold secret data, with labels."""
+        body = result.body
+        fn_name = body.fn_name
+        secrets: Dict[Place, str] = {}
+        for local in body.locals:
+            place = Place.from_local(local.index)
+            if local.name and self.policy.is_variable_secret(fn_name, local.name):
+                secrets[place] = f"variable `{local.name}`"
+            elif self.policy.type_is_secret(local.ty):
+                label = local.name or f"_{local.index}"
+                secrets[place] = f"value `{label}` of secret type {local.ty.pretty()}"
+        return secrets
+
+    def _secret_locations(
+        self, result: FunctionFlowResult, secrets: Dict[Place, str]
+    ) -> Dict[Location, str]:
+        """Locations whose results are secret: writes to secret places plus
+        the argument tags of secret parameters."""
+        out: Dict[Location, str] = {}
+        body = result.body
+        for location in body.locations():
+            instruction = body.instruction_at(location)
+            written = getattr(instruction, "place", None)
+            if written is None and isinstance(instruction, CallTerminator):
+                written = instruction.destination
+            if written is None:
+                continue
+            for secret_place, description in secrets.items():
+                if written.conflicts_with(secret_place):
+                    out[location] = description
+                    break
+        from repro.core.theta import arg_location
+
+        for param_index, local in enumerate(body.arg_locals()):
+            place = Place.from_local(local.index)
+            if place in secrets:
+                out[arg_location(param_index)] = secrets[place]
+        return out
+
+    # -- checking ----------------------------------------------------------------------
+
+    def check_function(self, fn_name: str) -> List[IfcViolation]:
+        result = self.engine.analyze_function(fn_name)
+        body = result.body
+        secrets = self._secret_places(result)
+        if not secrets:
+            has_sink = any(
+                isinstance(block.terminator, CallTerminator)
+                and block.terminator.func in self.policy.insecure_functions
+                for block in body.blocks
+            )
+            if not has_sink:
+                return []
+        secret_locations = self._secret_locations(result, secrets)
+
+        violations: List[IfcViolation] = []
+        for block_index, block in enumerate(body.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, CallTerminator):
+                continue
+            if terminator.func not in self.policy.insecure_functions:
+                continue
+            if terminator.func in self.policy.declassified_functions:
+                continue
+            call_location = body.terminator_location(block_index)
+            theta = result.theta_at(call_location)
+
+            # Explicit flows: any argument's dependencies intersect a secret.
+            explicit_source = None
+            for arg in terminator.args:
+                arg_deps = result.transfer.deps_of_operand(theta, arg)
+                for dep in arg_deps:
+                    if dep in secret_locations:
+                        explicit_source = secret_locations[dep]
+                        break
+                place = arg.place()
+                if explicit_source is None and place is not None:
+                    for secret_place, description in secrets.items():
+                        if place.conflicts_with(secret_place):
+                            explicit_source = description
+                            break
+                if explicit_source:
+                    break
+
+            # Implicit flows: the call is control-dependent on secret data.
+            implicit_source = None
+            control_deps = result.transfer.control_dependencies(theta, block_index)
+            for dep in control_deps:
+                if dep in secret_locations:
+                    implicit_source = secret_locations[dep]
+                    break
+
+            line = terminator.span.start_line if not terminator.span.is_dummy() else 0
+            if explicit_source is not None:
+                violations.append(
+                    IfcViolation(
+                        fn_name=fn_name,
+                        sink_function=terminator.func,
+                        sink_location=call_location,
+                        source_description=explicit_source,
+                        via_control_flow=False,
+                        line=line,
+                    )
+                )
+            elif implicit_source is not None:
+                violations.append(
+                    IfcViolation(
+                        fn_name=fn_name,
+                        sink_function=terminator.func,
+                        sink_location=call_location,
+                        source_description=implicit_source,
+                        via_control_flow=True,
+                        line=line,
+                    )
+                )
+        return violations
+
+    def check_all(self) -> List[IfcViolation]:
+        """Check every function of the local crate."""
+        violations: List[IfcViolation] = []
+        for name in self.engine.local_function_names():
+            violations.extend(self.check_function(name))
+        return violations
+
+    def report(self) -> str:
+        violations = self.check_all()
+        if not violations:
+            return "ifc: no insecure flows detected"
+        lines = [f"ifc: {len(violations)} insecure flow(s) detected"]
+        for violation in violations:
+            lines.append("  " + violation.render())
+        return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Interprocedural information flow from modular procedure summaries.
+
+Section 6 of the paper notes that its IFC prototype is purely
+intraprocedural, "but future work could build an interprocedural analysis by
+using Flowistry's output as procedure summaries in a larger information flow
+graph".  This module implements that extension:
+
+1. every local function is analysed once (modularly), and its result is
+   condensed into parameter-level facts: which parameters flow into the
+   return value, which parameters flow into which mutated reference
+   parameters, and which parameters flow into each *call argument* inside the
+   body;
+2. those facts become edges of a program-wide :class:`FlowGraph` whose nodes
+   are ``(function, parameter)`` and ``(function, return)``;
+3. reachability queries over the graph answer interprocedural questions, and
+   :class:`InterproceduralIfcChecker` uses them to find flows from secret
+   data into insecure sinks across any number of calls.
+
+The construction is modular in exactly the paper's sense: each function is
+analysed once against callee *signatures*; the graph composes the summaries,
+so no whole-program re-analysis is ever needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.apps.ifc import IfcPolicy
+from repro.core.analysis import FunctionFlowResult
+from repro.core.config import AnalysisConfig
+from repro.core.engine import FlowEngine
+from repro.core.theta import is_arg_location
+from repro.mir.ir import Body, CallTerminator, Place
+
+
+# A node of the interprocedural flow graph: (function name, slot) where slot
+# is "param:<i>" or "ret".
+Node = Tuple[str, str]
+
+
+def param_node(fn_name: str, index: int) -> Node:
+    return (fn_name, f"param:{index}")
+
+
+def return_node(fn_name: str) -> Node:
+    return (fn_name, "ret")
+
+
+@dataclass
+class FlowGraph:
+    """A directed graph over parameter/return slots of every function."""
+
+    edges: Dict[Node, Set[Node]] = field(default_factory=dict)
+    nodes: Set[Node] = field(default_factory=set)
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        if src == dst:
+            return
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.edges.setdefault(src, set()).add(dst)
+
+    def successors(self, node: Node) -> Set[Node]:
+        return self.edges.get(node, set())
+
+    def reachable_from(self, node: Node) -> Set[Node]:
+        """All nodes reachable from ``node`` (excluding unreachable self)."""
+        seen: Set[Node] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for successor in self.successors(current):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return seen
+
+    def reaches(self, src: Node, dst: Node) -> bool:
+        return dst in self.reachable_from(src) or src == dst
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+
+@dataclass
+class InterproceduralFlows:
+    """The flow graph plus the per-function analysis results used to build it."""
+
+    graph: FlowGraph
+    results: Dict[str, FunctionFlowResult]
+    engine: FlowEngine
+
+    def flows_to_return_of(self, fn_name: str, param_index: int) -> bool:
+        return self.graph.reaches(param_node(fn_name, param_index), return_node(fn_name))
+
+    def params_reaching(self, target: Node) -> List[Node]:
+        return sorted(
+            node
+            for node in self.graph.nodes
+            if node[1].startswith("param:") and self.graph.reaches(node, target)
+        )
+
+
+def _param_sources_of_deps(deps) -> Set[int]:
+    return {loc.statement for loc in deps if is_arg_location(loc)}
+
+
+def build_flow_graph(
+    source_or_engine, config: Optional[AnalysisConfig] = None
+) -> InterproceduralFlows:
+    """Analyse every local function and compose the interprocedural graph.
+
+    Accepts MiniRust source text or an existing :class:`FlowEngine`.
+    """
+    if isinstance(source_or_engine, FlowEngine):
+        engine = source_or_engine
+    else:
+        engine = FlowEngine.from_source(source_or_engine, config=config)
+
+    graph = FlowGraph()
+    results: Dict[str, FunctionFlowResult] = {}
+
+    for fn_name in engine.local_function_names():
+        result = engine.analyze_function(fn_name)
+        results[fn_name] = result
+        body = result.body
+
+        # Intraprocedural edges: parameters -> return value.
+        for index in _param_sources_of_deps(result.deps_of_return()):
+            graph.add_edge(param_node(fn_name, index), return_node(fn_name))
+
+        # Parameters -> mutated reference parameters.
+        for param_index, local in enumerate(body.arg_locals()):
+            pointee = Place.from_local(local.index).project_deref()
+            deps = result.exit_theta.read_conflicts(pointee)
+            for source in _param_sources_of_deps(deps):
+                if source != param_index:
+                    graph.add_edge(
+                        param_node(fn_name, source), param_node(fn_name, param_index)
+                    )
+
+        # Call-site edges.  ``callee_of_location`` lets a dependency on a call
+        # location be translated into "the return value of that callee".
+        callee_of_location = {
+            body.terminator_location(index): block.terminator.func
+            for index, block in enumerate(body.blocks)
+            if isinstance(block.terminator, CallTerminator)
+        }
+
+        for block_index, block in enumerate(body.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, CallTerminator):
+                continue
+            call_location = body.terminator_location(block_index)
+            theta = result.theta_at(call_location)
+            callee = terminator.func
+            for arg_index, arg in enumerate(terminator.args):
+                arg_deps = result.transfer.deps_of_operand(theta, arg)
+                # Caller parameters that flow into this argument.
+                for source in _param_sources_of_deps(arg_deps):
+                    graph.add_edge(
+                        param_node(fn_name, source), param_node(callee, arg_index)
+                    )
+                # Return values of earlier calls that flow into this argument.
+                for dep in arg_deps:
+                    earlier_callee = callee_of_location.get(dep)
+                    if earlier_callee is not None and dep != call_location:
+                        graph.add_edge(
+                            return_node(earlier_callee), param_node(callee, arg_index)
+                        )
+
+        # Return values of callees that flow into this function's return value.
+        for dep in result.deps_of_return():
+            upstream_callee = callee_of_location.get(dep)
+            if upstream_callee is not None:
+                graph.add_edge(return_node(upstream_callee), return_node(fn_name))
+
+    return InterproceduralFlows(graph=graph, results=results, engine=engine)
+
+
+@dataclass(frozen=True)
+class InterproceduralViolation:
+    """A secret-to-sink flow that crosses at least one function boundary."""
+
+    source: Node
+    sink_function: str
+    sink_argument: int
+    path_exists: bool = True
+
+    def render(self) -> str:
+        fn, slot = self.source
+        return (
+            f"interprocedural flow: {slot} of `{fn}` reaches argument "
+            f"{self.sink_argument} of insecure operation `{self.sink_function}`"
+        )
+
+
+class InterproceduralIfcChecker:
+    """IFC over the interprocedural flow graph (the Section 6 extension)."""
+
+    def __init__(self, source: str, policy: IfcPolicy, config: Optional[AnalysisConfig] = None):
+        self.policy = policy
+        self.flows = build_flow_graph(source, config=config)
+
+    def _secret_param_nodes(self) -> List[Node]:
+        out: List[Node] = []
+        for fn_name, result in self.flows.results.items():
+            for index, local in enumerate(result.body.arg_locals()):
+                if local.name and self.policy.is_variable_secret(fn_name, local.name):
+                    out.append(param_node(fn_name, index))
+                elif self.policy.type_is_secret(local.ty):
+                    out.append(param_node(fn_name, index))
+        return out
+
+    def _sink_param_nodes(self) -> List[Tuple[str, int, Node]]:
+        out: List[Tuple[str, int, Node]] = []
+        for sink in sorted(self.policy.insecure_functions):
+            if sink in self.policy.declassified_functions:
+                continue
+            signature = self.flows.engine.signatures.get(sink)
+            arity = signature.arity() if signature is not None else 1
+            for index in range(arity):
+                out.append((sink, index, param_node(sink, index)))
+        return out
+
+    def check(self) -> List[InterproceduralViolation]:
+        violations: List[InterproceduralViolation] = []
+        secret_nodes = self._secret_param_nodes()
+        sink_nodes = self._sink_param_nodes()
+        for source in secret_nodes:
+            reachable = self.flows.graph.reachable_from(source)
+            for sink_fn, arg_index, node in sink_nodes:
+                if node in reachable:
+                    violations.append(
+                        InterproceduralViolation(
+                            source=source, sink_function=sink_fn, sink_argument=arg_index
+                        )
+                    )
+        return violations
+
+    def report(self) -> str:
+        violations = self.check()
+        if not violations:
+            return "interprocedural ifc: no insecure flows detected"
+        lines = [f"interprocedural ifc: {len(violations)} insecure flow(s) detected"]
+        for violation in violations:
+            lines.append("  " + violation.render())
+        return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Borrow/alias substrate: loan sets, signature summaries, alias oracles.
+
+Section 4.2 of the paper explains that Flowistry reconstructs *loan sets*
+(which places a reference may point to) from the outlives-constraints the
+Rust compiler exports.  Our substrate plays the same role for MiniRust MIR:
+
+* :mod:`repro.borrowck.signatures` summarises what a function's type
+  signature says about mutability and lifetime-ties — the only information
+  the modular analysis may use about callees,
+* :mod:`repro.borrowck.loans` computes per-place loan sets by a fixpoint over
+  borrow expressions, reference copies, and lifetime-tied call returns,
+* :mod:`repro.borrowck.oracle` wraps the result behind the
+  :class:`AliasOracle` interface and provides the *Ref-blind* ablation
+  (type-based aliasing with no lifetime information).
+"""
+
+from repro.borrowck.signatures import SignatureSummary, summarize_signature, RefInfo
+from repro.borrowck.loans import LoanAnalysis, LoanMap, compute_loans
+from repro.borrowck.oracle import AliasOracle, PreciseAliasOracle, TypeBlindAliasOracle, make_oracle
+from repro.borrowck.checker import BorrowChecker, BorrowViolation, check_all_bodies, check_body
+
+__all__ = [
+    "AliasOracle",
+    "BorrowChecker",
+    "BorrowViolation",
+    "LoanAnalysis",
+    "LoanMap",
+    "PreciseAliasOracle",
+    "RefInfo",
+    "SignatureSummary",
+    "TypeBlindAliasOracle",
+    "check_all_bodies",
+    "check_body",
+    "compute_loans",
+    "make_oracle",
+    "summarize_signature",
+]

@@ -1,0 +1,236 @@
+"""Loan-set computation: which places can a reference point to?
+
+Section 4.2 of the paper: "for all instances of borrow expressions ``&r ω p``
+in the MIR program, we initialize ``Γ(r) = {p}``.  Then we propagate loans via
+``Γ(r) = ⋃_{r' :> r} Γ(r')`` until Γ reaches a fixpoint."
+
+Rather than materialising region variables, we key loan sets directly by the
+reference-typed *places* that hold the references (each such place stands for
+the region of the reference stored in it).  Propagation happens along:
+
+* borrow statements (``p = &q`` adds the concrete places ``q`` may denote),
+* reference copies/moves (``p = q``),
+* aggregate construction/projection (references stored in tuple or struct
+  fields), and
+* call returns, where the callee's *signature lifetimes* determine which
+  argument loans flow into the returned reference — exactly the modular use
+  of lifetimes the paper describes for ``Vec::iter``.
+
+References received from the caller (reference-typed arguments) have no
+in-body loans; dereferencing them yields the *abstract place* ``(*arg)``,
+which stands for caller-owned memory, mirroring how Flowistry reasons about
+argument memory symbolically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.borrowck.signatures import SignatureSummary, summarize_signature
+from repro.lang.ast import FnSig
+from repro.lang.types import Mutability, RefType, StructType, TupleType, Type
+from repro.mir.ir import (
+    Aggregate,
+    BinaryOp,
+    Body,
+    CallTerminator,
+    Constant,
+    Copy,
+    Move,
+    Operand,
+    Place,
+    Ref,
+    Rvalue,
+    Statement,
+    StatementKind,
+    UnaryOp,
+    Use,
+)
+
+
+LoanMap = Dict[Place, FrozenSet[Place]]
+
+
+def _place_with_path(base: Place, path: Sequence[int]) -> Place:
+    place = base
+    for index in path:
+        place = place.project_field(index)
+    return place
+
+
+def _refs_in_type(ty: Optional[Type], path: Tuple[int, ...] = ()) -> List[Tuple[Tuple[int, ...], RefType]]:
+    """(field path, reference type) pairs for all refs nested in ``ty``."""
+    if ty is None:
+        return []
+    if isinstance(ty, RefType):
+        return [(path, ty)]
+    if isinstance(ty, TupleType):
+        out: List[Tuple[Tuple[int, ...], RefType]] = []
+        for index, element in enumerate(ty.elements):
+            out.extend(_refs_in_type(element, path + (index,)))
+        return out
+    if isinstance(ty, StructType) and not ty.opaque:
+        out = []
+        for index, (_, field_ty) in enumerate(ty.fields):
+            out.extend(_refs_in_type(field_ty, path + (index,)))
+        return out
+    return []
+
+
+@dataclass
+class LoanAnalysis:
+    """Loan sets for one MIR body (the precise, lifetime-aware version)."""
+
+    body: Body
+    signatures: Dict[str, FnSig] = field(default_factory=dict)
+    loans: Dict[Place, Set[Place]] = field(default_factory=dict)
+    _summaries: Dict[str, SignatureSummary] = field(default_factory=dict)
+
+    # -- public API --------------------------------------------------------------
+
+    def loan_set(self, place: Place) -> FrozenSet[Place]:
+        """The places that the reference stored at ``place`` may point to."""
+        return frozenset(self.loans.get(place, set()))
+
+    def as_map(self) -> LoanMap:
+        return {place: frozenset(targets) for place, targets in self.loans.items()}
+
+    def resolve(self, place: Place) -> FrozenSet[Place]:
+        """Reduce ``place`` to the concrete places it may denote.
+
+        Walks the projection path; every ``Deref`` step is replaced by the
+        loan set of the prefix.  When the prefix has no known loans (it is a
+        reference received from the caller or from an opaque callee), the
+        deref is kept symbolically, producing an abstract place such as
+        ``(*_1)``.
+        """
+        bases: Set[Place] = {Place.from_local(place.local)}
+        for elem in place.projection:
+            next_bases: Set[Place] = set()
+            for base in bases:
+                if elem.is_deref():
+                    targets = self.loans.get(base)
+                    if targets:
+                        next_bases |= targets
+                    else:
+                        next_bases.add(base.project_deref())
+                else:
+                    next_bases.add(base.project_field(elem.index))
+            bases = next_bases
+        return frozenset(bases)
+
+    def borrowed_places(self) -> FrozenSet[Place]:
+        """Every concrete place that appears in some loan set."""
+        out: Set[Place] = set()
+        for targets in self.loans.values():
+            out |= targets
+        return frozenset(out)
+
+    # -- construction --------------------------------------------------------------
+
+    def run(self, max_iterations: int = 100) -> "LoanAnalysis":
+        """Iterate loan propagation to a fixpoint."""
+        for _ in range(max_iterations):
+            if not self._one_pass():
+                break
+        return self
+
+    def _summary(self, fn_name: str) -> Optional[SignatureSummary]:
+        if fn_name in self._summaries:
+            return self._summaries[fn_name]
+        sig = self.signatures.get(fn_name)
+        if sig is None:
+            return None
+        summary = summarize_signature(sig)
+        self._summaries[fn_name] = summary
+        return summary
+
+    def _add(self, place: Place, targets: Iterable[Place]) -> bool:
+        bucket = self.loans.setdefault(place, set())
+        before = len(bucket)
+        bucket.update(targets)
+        return len(bucket) != before
+
+    def _one_pass(self) -> bool:
+        changed = False
+        for block in self.body.blocks:
+            for stmt in block.statements:
+                if stmt.kind is not StatementKind.ASSIGN:
+                    continue
+                assert stmt.place is not None and stmt.rvalue is not None
+                changed |= self._transfer_assign(stmt.place, stmt.rvalue)
+            terminator = block.terminator
+            if isinstance(terminator, CallTerminator):
+                changed |= self._transfer_call(terminator)
+        return changed
+
+    # -- transfer -------------------------------------------------------------------
+
+    def _transfer_assign(self, place: Place, rvalue: Rvalue) -> bool:
+        changed = False
+        if isinstance(rvalue, Ref):
+            targets = self.resolve(rvalue.referent)
+            changed |= self._add(place, targets)
+        elif isinstance(rvalue, Use):
+            src = rvalue.operand.place()
+            if src is not None:
+                changed |= self._copy_ref_loans(place, src)
+        elif isinstance(rvalue, Aggregate):
+            for index, operand in enumerate(rvalue.ops):
+                src = operand.place()
+                if src is None:
+                    continue
+                changed |= self._copy_ref_loans(place.project_field(index), src)
+        # BinaryOp/UnaryOp never produce references.
+        return changed
+
+    def _copy_ref_loans(self, dest: Place, src: Place) -> bool:
+        """Propagate loans for every reference nested in the copied value."""
+        ty = self.body.place_ty(dest)
+        changed = False
+        for path, _ref_ty in _refs_in_type(ty):
+            dest_ref = _place_with_path(dest, path)
+            src_ref = _place_with_path(src, path)
+            targets: Set[Place] = set()
+            for resolved in self.resolve(src_ref):
+                targets |= self.loans.get(resolved, set())
+            # Direct lookup as well (when src_ref itself is the tracked key).
+            targets |= self.loans.get(src_ref, set())
+            if targets:
+                changed |= self._add(dest_ref, targets)
+        return changed
+
+    def _transfer_call(self, call: CallTerminator) -> bool:
+        summary = self._summary(call.func)
+        if summary is None:
+            return False
+        dest_ty = self.body.place_ty(call.destination)
+        dest_refs = _refs_in_type(dest_ty)
+        if not dest_refs:
+            return False
+
+        # The returned reference(s) may point to anything reachable through
+        # the lifetime-tied arguments' references.
+        targets: Set[Place] = set()
+        for param_index in summary.params_tied_to_return:
+            if param_index >= len(call.args):
+                continue
+            arg_place = call.args[param_index].place()
+            if arg_place is None:
+                continue
+            for ref_info in summary.all_refs_of_param(param_index):
+                ref_place = _place_with_path(arg_place, ref_info.path)
+                targets |= self.resolve(ref_place.project_deref())
+
+        if not targets:
+            return False
+        changed = False
+        for path, _ref_ty in dest_refs:
+            changed |= self._add(_place_with_path(call.destination, path), targets)
+        return changed
+
+
+def compute_loans(body: Body, signatures: Dict[str, FnSig]) -> LoanAnalysis:
+    """Run the loan analysis for ``body`` to fixpoint and return it."""
+    return LoanAnalysis(body=body, signatures=signatures).run()

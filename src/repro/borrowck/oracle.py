@@ -1,0 +1,156 @@
+"""Alias oracles: the pointer-analysis interface used by the flow analysis.
+
+The information flow transfer functions never consult loan sets directly;
+they ask an :class:`AliasOracle` two questions:
+
+* ``resolve(place)`` — which concrete places may this (possibly dereferencing)
+  place denote?
+* ``conflicts(place, theta_keys)`` — which tracked places conflict with a
+  mutation of this place?
+
+Two implementations are provided, matching the paper's evaluation conditions:
+
+* :class:`PreciseAliasOracle` uses the lifetime-derived loan sets of
+  :mod:`repro.borrowck.loans` (the **Modular** and **Whole-program**
+  conditions),
+* :class:`TypeBlindAliasOracle` ignores lifetimes and assumes any two
+  references with the same pointee type may alias (the **Ref-blind**
+  ablation of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.borrowck.loans import LoanAnalysis, _refs_in_type
+from repro.lang.ast import FnSig
+from repro.lang.types import RefType, Type
+from repro.mir.ir import Body, Place, Ref, Rvalue, StatementKind, Statement
+
+
+class AliasOracle:
+    """Interface for the pointer analysis consumed by the flow analysis."""
+
+    body: Body
+
+    def resolve(self, place: Place) -> FrozenSet[Place]:
+        """Concrete places ``place`` may denote (deref projections resolved)."""
+        raise NotImplementedError
+
+    def aliases_known(self, place: Place) -> bool:
+        """Whether the oracle has definite points-to information for ``place``."""
+        raise NotImplementedError
+
+    def conflicting(self, place: Place, candidates: Iterable[Place]) -> List[Place]:
+        """Candidates that conflict with a mutation of ``place``.
+
+        A candidate conflicts when it is an ancestor or descendant of any
+        place that ``place`` may denote (Section 2.1's ``⊓`` relation lifted
+        through aliasing).
+        """
+        resolved = self.resolve(place)
+        out = []
+        for candidate in candidates:
+            candidate_resolved = self.resolve(candidate)
+            for target in resolved:
+                if any(target.conflicts_with(c) for c in candidate_resolved):
+                    out.append(candidate)
+                    break
+        return out
+
+
+@dataclass
+class PreciseAliasOracle(AliasOracle):
+    """Lifetime/loan-based aliasing (the paper's default)."""
+
+    body: Body
+    loans: LoanAnalysis
+
+    def resolve(self, place: Place) -> FrozenSet[Place]:
+        return self.loans.resolve(place)
+
+    def aliases_known(self, place: Place) -> bool:
+        resolved = self.resolve(place)
+        return len(resolved) == 1 and not next(iter(resolved)).has_deref()
+
+
+@dataclass
+class TypeBlindAliasOracle(AliasOracle):
+    """Type-based aliasing: the *Ref-blind* ablation.
+
+    Without lifetimes, a dereference of a reference with pointee type ``T``
+    may denote *any* place of type ``T`` that is ever borrowed in the body,
+    any reference-typed argument's pointee of type ``T``, and — because we
+    cannot rule it out — the symbolic place itself.  This mirrors the paper's
+    description: "the analysis ... assumes all references of the same type
+    can alias."
+    """
+
+    body: Body
+    signatures: Dict[str, FnSig] = field(default_factory=dict)
+    _candidates_by_type: Dict[str, Set[Place]] = field(default_factory=dict, init=False)
+    _initialized: bool = field(default=False, init=False)
+
+    def _type_key(self, ty: Optional[Type]) -> str:
+        return ty.pretty() if ty is not None else "<unknown>"
+
+    def _ensure_candidates(self) -> None:
+        if self._initialized:
+            return
+        self._initialized = True
+
+        def record(place: Place) -> None:
+            ty = self.body.place_ty(place)
+            if ty is None:
+                return
+            self._candidates_by_type.setdefault(self._type_key(ty), set()).add(place)
+
+        # Places that are ever borrowed anywhere in the body.
+        for block in self.body.blocks:
+            for stmt in block.statements:
+                if stmt.kind is StatementKind.ASSIGN and isinstance(stmt.rvalue, Ref):
+                    record(stmt.rvalue.referent)
+
+        # Pointees of reference-typed arguments (abstract caller memory).
+        for local in self.body.arg_locals():
+            arg_place = Place.from_local(local.index)
+            for path, _ref_ty in _refs_in_type(local.ty):
+                ref_place = arg_place
+                for index in path:
+                    ref_place = ref_place.project_field(index)
+                record(ref_place.project_deref())
+
+    def resolve(self, place: Place) -> FrozenSet[Place]:
+        self._ensure_candidates()
+        bases: Set[Place] = {Place.from_local(place.local)}
+        for elem in place.projection:
+            next_bases: Set[Place] = set()
+            for base in bases:
+                if elem.is_deref():
+                    base_ty = self.body.place_ty(base)
+                    pointee = base_ty.pointee if isinstance(base_ty, RefType) else None
+                    candidates = self._candidates_by_type.get(self._type_key(pointee), set())
+                    next_bases |= candidates
+                    next_bases.add(base.project_deref())
+                else:
+                    next_bases.add(base.project_field(elem.index))
+            bases = next_bases
+        return frozenset(bases)
+
+    def aliases_known(self, place: Place) -> bool:
+        # Without lifetimes we never treat a dereferencing place as uniquely
+        # resolved, so all writes through pointers are weak updates.
+        return not place.has_deref()
+
+
+def make_oracle(
+    body: Body,
+    signatures: Dict[str, FnSig],
+    ref_blind: bool = False,
+) -> AliasOracle:
+    """Build the alias oracle matching the chosen analysis condition."""
+    if ref_blind:
+        return TypeBlindAliasOracle(body=body, signatures=signatures)
+    loans = LoanAnalysis(body=body, signatures=signatures).run()
+    return PreciseAliasOracle(body=body, loans=loans)

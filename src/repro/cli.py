@@ -1,0 +1,228 @@
+"""Command-line interface for the reproduction.
+
+Mirrors how Flowistry is driven in practice (a cargo subcommand plus an IDE
+extension) with a small set of subcommands over MiniRust source files:
+
+* ``repro mir FILE [--function NAME]`` — print the lowered MIR,
+* ``repro analyze FILE [--function NAME] [--whole-program|--mut-blind|--ref-blind]``
+  — print Figure-1 style Θ annotations and per-variable dependency sizes,
+* ``repro slice FILE --function NAME --variable VAR [--forward]`` — print a
+  slice rendered against the source,
+* ``repro ifc FILE --secret-type T ... --sink F ...`` — run the IFC checker,
+* ``repro corpus [--scale S] [--crate NAME]`` — generate the evaluation corpus,
+* ``repro experiment [--scale S]`` — run the Section 5 experiment and print
+  the headline comparison.
+
+The CLI is intentionally thin: every subcommand is a few lines over the
+public library API, and each handler returns an exit code so it can be tested
+without spawning processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.apps.ifc import IfcChecker, IfcPolicy
+from repro.apps.slicer import ProgramSlicer
+from repro.core.config import AnalysisConfig
+from repro.core.engine import FlowEngine
+from repro.errors import ReproError
+from repro.mir.pretty import pretty_body
+
+
+def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
+    return AnalysisConfig(
+        whole_program=getattr(args, "whole_program", False),
+        mut_blind=getattr(args, "mut_blind", False),
+        ref_blind=getattr(args, "ref_blind", False),
+    )
+
+
+def _read_source(path: str) -> str:
+    return Path(path).read_text(encoding="utf-8")
+
+
+def _add_condition_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="recurse into callee bodies within the crate (evaluation condition)",
+    )
+    parser.add_argument(
+        "--mut-blind",
+        action="store_true",
+        help="ablation: ignore mutability qualifiers on references",
+    )
+    parser.add_argument(
+        "--ref-blind",
+        action="store_true",
+        help="ablation: ignore lifetimes (type-based aliasing)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flowistry-style modular information flow analysis for MiniRust",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mir = sub.add_parser("mir", help="print the lowered MIR of a file")
+    mir.add_argument("file")
+    mir.add_argument("--function", help="only this function (default: all)")
+
+    analyze = sub.add_parser("analyze", help="print Θ annotations and dependency sizes")
+    analyze.add_argument("file")
+    analyze.add_argument("--function", help="only this function (default: all)")
+    _add_condition_flags(analyze)
+
+    slice_cmd = sub.add_parser("slice", help="slice a function on a variable")
+    slice_cmd.add_argument("file")
+    slice_cmd.add_argument("--function", required=True)
+    slice_cmd.add_argument("--variable", required=True)
+    slice_cmd.add_argument("--forward", action="store_true", help="forward slice")
+    _add_condition_flags(slice_cmd)
+
+    ifc = sub.add_parser("ifc", help="check information flow policies")
+    ifc.add_argument("file")
+    ifc.add_argument("--secret-type", action="append", default=[], dest="secret_types")
+    ifc.add_argument("--secret-variable", action="append", default=[], dest="secret_variables",
+                     help="NAME or FUNCTION:NAME")
+    ifc.add_argument("--sink", action="append", default=[], dest="sinks",
+                     help="function treated as an insecure operation")
+
+    corpus = sub.add_parser("corpus", help="generate the synthetic evaluation corpus")
+    corpus.add_argument("--scale", type=float, default=0.25)
+    corpus.add_argument("--crate", help="print the source of just this crate")
+
+    experiment = sub.add_parser("experiment", help="run the Section 5 experiment")
+    experiment.add_argument("--scale", type=float, default=0.2)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand handlers
+# ---------------------------------------------------------------------------
+
+
+def _selected_functions(engine: FlowEngine, only: Optional[str]) -> List[str]:
+    if only is not None:
+        if engine.body(only) is None:
+            raise ReproError(f"no function named {only!r} with a body")
+        return [only]
+    return engine.local_function_names()
+
+
+def cmd_mir(args: argparse.Namespace, out) -> int:
+    engine = FlowEngine.from_source(_read_source(args.file))
+    for name in _selected_functions(engine, args.function):
+        out.write(pretty_body(engine.body(name)) + "\n\n")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out) -> int:
+    engine = FlowEngine.from_source(_read_source(args.file), config=_config_from_args(args))
+    for name in _selected_functions(engine, args.function):
+        result = engine.analyze_function(name)
+        out.write(f"// condition: {result.config.name}\n")
+        out.write(pretty_body(result.body, result.annotations()) + "\n")
+        out.write("// dependency-set sizes at exit:\n")
+        for variable, size in sorted(result.dependency_sizes().items()):
+            out.write(f"//   {variable}: {size}\n")
+        out.write("\n")
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace, out) -> int:
+    source = _read_source(args.file)
+    slicer = ProgramSlicer(source, config=_config_from_args(args))
+    if args.forward:
+        result = slicer.forward_slice(args.function, args.variable)
+    else:
+        result = slicer.backward_slice(args.function, args.variable)
+    out.write(
+        f"// {result.direction.value} slice of `{args.variable}` in {args.function}: "
+        f"{result.size()} locations\n"
+    )
+    out.write(slicer.render(result) + "\n")
+    return 0
+
+
+def cmd_ifc(args: argparse.Namespace, out) -> int:
+    policy = IfcPolicy()
+    for type_name in args.secret_types:
+        policy.mark_type_secret(type_name)
+    for spec in args.secret_variables:
+        if ":" in spec:
+            fn_name, variable = spec.split(":", 1)
+        else:
+            fn_name, variable = "*", spec
+        policy.secret_variables.add((fn_name, variable))
+    for sink in args.sinks:
+        policy.mark_function_insecure(sink)
+    checker = IfcChecker(_read_source(args.file), policy)
+    violations = checker.check_all()
+    out.write(checker.report() + "\n")
+    return 1 if violations else 0
+
+
+def cmd_corpus(args: argparse.Namespace, out) -> int:
+    from repro.eval.corpus import generate_corpus
+
+    corpus = generate_corpus(scale=args.scale)
+    if args.crate is not None:
+        matches = [c for c in corpus if c.name == args.crate]
+        if not matches:
+            raise ReproError(f"no crate named {args.crate!r} in the corpus")
+        out.write(matches[0].source)
+        return 0
+    from repro.eval.report import render_table1
+
+    out.write(render_table1(corpus) + "\n")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace, out) -> int:
+    from repro.eval.corpus import generate_corpus
+    from repro.eval.experiments import primary_experiment_conditions, run_conditions
+    from repro.eval.report import render_boundary_study, render_summary_table
+
+    corpus = generate_corpus(scale=args.scale)
+    data = run_conditions(corpus, primary_experiment_conditions())
+    out.write(render_summary_table(data) + "\n\n")
+    out.write(render_boundary_study(data) + "\n")
+    return 0
+
+
+_HANDLERS = {
+    "mir": cmd_mir,
+    "analyze": cmd_analyze,
+    "slice": cmd_slice,
+    "ifc": cmd_ifc,
+    "corpus": cmd_corpus,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args, out)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    except FileNotFoundError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

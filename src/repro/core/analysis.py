@@ -1,0 +1,248 @@
+"""Per-function information flow analysis driver.
+
+Ties the pieces together for one MIR body: build the alias oracle (precise or
+ref-blind), compute control dependencies, seed the argument places with
+synthetic dependency tags, and run the forward dataflow to fixpoint.  The
+:class:`FunctionFlowResult` exposes everything the applications and the
+evaluation need: Θ at any location, dependency-set sizes per variable at the
+function exit (the paper's measurement unit), and backward/forward slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.borrowck.oracle import AliasOracle, make_oracle
+from repro.borrowck.signatures import summarize_signature
+from repro.core.config import AnalysisConfig
+from repro.core.summaries import CallSummaryProvider, ModularSummaryProvider
+from repro.core.theta import DependencyContext, ThetaLattice, arg_location, is_arg_location
+from repro.core.transfer import FlowTransfer
+from repro.dataflow.control_deps import compute_control_deps
+from repro.dataflow.engine import FixpointResult, ForwardAnalysis
+from repro.lang.ast import FnSig
+from repro.mir.ir import Body, Location, Place, RETURN_LOCAL, StatementKind, Statement, CallTerminator
+
+
+def _seed_arguments(body: Body) -> DependencyContext:
+    """Initial Θ: each argument (and each place reachable through its
+    references) is tagged with a synthetic per-parameter location.
+
+    The tags serve two purposes: they let results express "this variable
+    depends on parameter i", and they are how whole-program call summaries
+    are read back out of a callee's exit state.
+    """
+    theta = DependencyContext()
+    for param_index, local in enumerate(body.arg_locals()):
+        tag = frozenset({arg_location(param_index)})
+        arg_place = Place.from_local(local.index)
+        theta.set(arg_place, tag)
+        summary = summarize_signature(body.signature)
+        for info in summary.all_refs_of_param(param_index):
+            ref_place = arg_place
+            for index in info.path:
+                ref_place = ref_place.project_field(index)
+            theta.set(ref_place.project_deref(), tag)
+    return theta
+
+
+@dataclass
+class FunctionFlowResult:
+    """The outcome of analysing one function under one configuration."""
+
+    body: Body
+    config: AnalysisConfig
+    oracle: AliasOracle
+    transfer: FlowTransfer
+    fixpoint: FixpointResult
+    _exit_theta: Optional[DependencyContext] = field(default=None, init=False)
+
+    # -- states -----------------------------------------------------------------
+
+    @property
+    def exit_theta(self) -> DependencyContext:
+        """Θ at the function exit: the join over all return blocks."""
+        if self._exit_theta is None:
+            self._exit_theta = self.fixpoint.state_at_returns()
+        return self._exit_theta
+
+    def theta_at(self, location: Location) -> DependencyContext:
+        return self.fixpoint.state_at(location)
+
+    def theta_after(self, location: Location) -> DependencyContext:
+        return self.fixpoint.state_after(location)
+
+    # -- dependency sets ------------------------------------------------------------
+
+    def deps_of_place(
+        self, place: Place, location: Optional[Location] = None
+    ) -> FrozenSet[Location]:
+        theta = self.exit_theta if location is None else self.theta_at(location)
+        resolved = self.oracle.resolve(place)
+        return theta.read_many(resolved)
+
+    def deps_of_variable(
+        self, name: str, location: Optional[Location] = None
+    ) -> FrozenSet[Location]:
+        local = self.body.local_by_name(name)
+        if local is None:
+            raise KeyError(f"function {self.body.fn_name!r} has no variable {name!r}")
+        return self.deps_of_place(Place.from_local(local.index), location)
+
+    def deps_of_return(self) -> FrozenSet[Location]:
+        return self.deps_of_place(Place.from_local(RETURN_LOCAL))
+
+    def dependency_sizes(
+        self, include_temporaries: bool = True, count_arg_tags: bool = True
+    ) -> Dict[str, int]:
+        """The evaluation metric of Section 5.1: per local variable, the size
+        of its dependency set at the function exit.
+
+        ``include_temporaries`` controls whether compiler-introduced temporaries
+        count as variables (the paper analyses all MIR locals).  ``count_arg_tags``
+        controls whether the synthetic per-argument seed tags are counted.
+        """
+        theta = self.exit_theta
+        out: Dict[str, int] = {}
+        for local in self.body.locals:
+            if local.index == RETURN_LOCAL:
+                label = "<return>"
+            elif local.name is not None:
+                label = local.name
+            elif include_temporaries:
+                label = f"_{local.index}"
+            else:
+                continue
+            deps = theta.read_conflicts(Place.from_local(local.index))
+            if not count_arg_tags:
+                deps = frozenset(d for d in deps if not is_arg_location(d))
+            out[label] = len(deps)
+        return out
+
+    # -- slicing ----------------------------------------------------------------------
+
+    def backward_slice(
+        self, place: Place, location: Optional[Location] = None
+    ) -> FrozenSet[Location]:
+        """Locations that may influence the value of ``place``.
+
+        Because Θ accumulates dependencies transitively (the dependencies of
+        every operand are folded into each mutation), the backward slice is
+        simply the dependency set of the place, minus the synthetic argument
+        tags.
+        """
+        deps = self.deps_of_place(place, location)
+        return frozenset(loc for loc in deps if not is_arg_location(loc))
+
+    def backward_slice_of_variable(
+        self, name: str, location: Optional[Location] = None
+    ) -> FrozenSet[Location]:
+        local = self.body.local_by_name(name)
+        if local is None:
+            raise KeyError(f"function {self.body.fn_name!r} has no variable {name!r}")
+        return self.backward_slice(Place.from_local(local.index), location)
+
+    def forward_slice(self, source: Location) -> FrozenSet[Location]:
+        """Locations whose computed values may be influenced by ``source``.
+
+        Computed by scanning every instruction and asking whether the place
+        it writes depends on ``source`` immediately afterwards.
+        """
+        influenced: Set[Location] = set()
+        for location in self.body.locations():
+            instruction = self.body.instruction_at(location)
+            written: Optional[Place] = None
+            if isinstance(instruction, Statement) and instruction.kind is StatementKind.ASSIGN:
+                written = instruction.place
+            elif isinstance(instruction, CallTerminator):
+                written = instruction.destination
+            if written is None:
+                continue
+            after = self.theta_after(location)
+            if source in after.read_conflicts(written):
+                influenced.add(location)
+        influenced.add(source)
+        return frozenset(influenced)
+
+    # -- evaluation helpers ------------------------------------------------------------
+
+    def boundary_call_locations(self) -> FrozenSet[Location]:
+        """Call locations that cross a crate boundary (Section 5.4.2)."""
+        return frozenset(self.transfer.boundary_call_locations)
+
+    def variable_hits_boundary(self, name: str) -> bool:
+        """Whether the variable's flow involves a cross-crate call."""
+        deps = self.deps_of_variable(name)
+        return bool(deps & self.transfer.boundary_call_locations)
+
+    def annotations(self) -> Dict[Location, str]:
+        """Per-location rendering of Θ entries, for Figure 1 style printouts."""
+        out: Dict[Location, str] = {}
+        for location in self.body.locations():
+            instruction = self.body.instruction_at(location)
+            written: Optional[Place] = None
+            if isinstance(instruction, Statement) and instruction.kind is StatementKind.ASSIGN:
+                written = instruction.place
+            elif isinstance(instruction, CallTerminator):
+                written = instruction.destination
+            if written is None:
+                continue
+            after = self.theta_after(location)
+            deps = sorted(after.read_conflicts(written))
+            rendered = ", ".join(
+                f"arg{d.statement}" if is_arg_location(d) else d.pretty() for d in deps
+            )
+            out[location] = f"Θ({written.pretty(self.body)}) = {{{rendered}}}"
+        return out
+
+
+class FunctionFlowAnalysis:
+    """Configures and runs the information flow analysis for one body."""
+
+    def __init__(
+        self,
+        body: Body,
+        signatures: Dict[str, FnSig],
+        config: Optional[AnalysisConfig] = None,
+        provider: Optional[CallSummaryProvider] = None,
+    ):
+        self.body = body
+        self.signatures = signatures
+        self.config = config or AnalysisConfig()
+        self.provider = provider or ModularSummaryProvider()
+
+    def run(self) -> FunctionFlowResult:
+        oracle = make_oracle(self.body, self.signatures, ref_blind=self.config.ref_blind)
+        control_deps = compute_control_deps(self.body)
+        transfer = FlowTransfer(
+            body=self.body,
+            config=self.config,
+            oracle=oracle,
+            control_deps=control_deps,
+            signatures=self.signatures,
+            provider=self.provider,
+        )
+        engine = ForwardAnalysis(
+            lattice=ThetaLattice(),
+            transfer=transfer,
+            boundary_state=lambda body: _seed_arguments(body),
+        )
+        fixpoint = engine.run(self.body)
+        return FunctionFlowResult(
+            body=self.body,
+            config=self.config,
+            oracle=oracle,
+            transfer=transfer,
+            fixpoint=fixpoint,
+        )
+
+
+def analyze_body(
+    body: Body,
+    signatures: Dict[str, FnSig],
+    config: Optional[AnalysisConfig] = None,
+    provider: Optional[CallSummaryProvider] = None,
+) -> FunctionFlowResult:
+    """Convenience wrapper: analyse one body and return the result."""
+    return FunctionFlowAnalysis(body, signatures, config, provider).run()

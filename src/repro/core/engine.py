@@ -1,0 +1,232 @@
+"""Program-level analysis engine: the public entry point of the library.
+
+A :class:`FlowEngine` owns a checked and lowered program plus one analysis
+configuration, and produces :class:`~repro.core.analysis.FunctionFlowResult`
+objects on demand.  It also implements the recursive whole-program summary
+provider used by the ``Whole-program`` evaluation condition: callee bodies
+are analysed on demand (memoised), but only when they live in the same crate
+as the analysis root — calls into other crates always fall back to the
+modular approximation, reproducing the paper's constraint that "the only
+available definitions are those within the package being analyzed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.borrowck.signatures import summarize_signature
+from repro.core.analysis import FunctionFlowAnalysis, FunctionFlowResult
+from repro.core.config import AnalysisConfig
+from repro.core.summaries import (
+    CallSummaryProvider,
+    WholeProgramSummary,
+    summary_from_exit_state,
+)
+from repro.lang.ast import FnSig, Program
+from repro.lang.parser import parse_program
+from repro.lang.typeck import CheckedProgram, check_program
+from repro.mir.callgraph import CallGraph, build_call_graph
+from repro.mir.ir import Body
+from repro.mir.lower import LoweredProgram, lower_program
+
+
+class _RecursiveSummaryProvider(CallSummaryProvider):
+    """Computes whole-program call summaries by recursively analysing callees.
+
+    Recursion is bounded by ``config.max_whole_program_depth`` and broken on
+    call cycles; in both cases ``summary_for`` returns ``None`` and the caller
+    uses the modular rule instead, matching Flowistry's behaviour.
+    """
+
+    def __init__(self, engine: "FlowEngine", root_crate: str):
+        self.engine = engine
+        self.root_crate = root_crate
+        self._cache: Dict[str, Optional[WholeProgramSummary]] = {}
+        self._in_progress: Set[str] = set()
+        self._depth = 0
+
+    def is_crate_boundary(self, callee: str) -> bool:
+        body = self.engine.lowered.body(callee)
+        return body is None or body.crate != self.root_crate
+
+    def summary_for(self, callee: str) -> Optional[WholeProgramSummary]:
+        if callee in self._cache:
+            return self._cache[callee]
+        if self.is_crate_boundary(callee):
+            self._cache[callee] = None
+            return None
+        if callee in self._in_progress:
+            # Call cycle: fall back to the modular approximation.
+            return None
+        if self._depth >= self.engine.config.max_whole_program_depth:
+            return None
+
+        body = self.engine.lowered.body(callee)
+        assert body is not None
+        self._in_progress.add(callee)
+        self._depth += 1
+        try:
+            result = FunctionFlowAnalysis(
+                body=body,
+                signatures=self.engine.signatures,
+                config=self.engine.config,
+                provider=self,
+            ).run()
+            # The exit state is materialised while the callee is still marked
+            # in-progress: computing it replays the transfer function, which
+            # re-resolves recursive calls and must keep hitting the cycle
+            # guard rather than re-entering this method unboundedly.
+            summary = summary_from_exit_state(
+                body=body,
+                exit_theta=result.exit_theta,
+                mutable_ref_paths=self.engine.mutable_ref_paths(callee),
+            )
+        finally:
+            self._depth -= 1
+            self._in_progress.discard(callee)
+
+        self._cache[callee] = summary
+        return summary
+
+
+@dataclass
+class ProgramFlowResult:
+    """Results of analysing every function of the local crate."""
+
+    config: AnalysisConfig
+    results: Dict[str, FunctionFlowResult] = field(default_factory=dict)
+
+    def function_names(self) -> List[str]:
+        return sorted(self.results)
+
+    def result(self, name: str) -> FunctionFlowResult:
+        return self.results[name]
+
+    def dependency_sizes(self) -> Dict[Tuple[str, str], int]:
+        """(function, variable) → dependency set size at exit.
+
+        This is the raw data behind Figures 2–4: one entry per analysed
+        variable per function.
+        """
+        out: Dict[Tuple[str, str], int] = {}
+        for fn_name, result in self.results.items():
+            for var, size in result.dependency_sizes().items():
+                out[(fn_name, var)] = size
+        return out
+
+    def total_variables(self) -> int:
+        return len(self.dependency_sizes())
+
+
+class FlowEngine:
+    """Analyse a whole MiniRust program under one configuration."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        lowered: Optional[LoweredProgram] = None,
+        config: Optional[AnalysisConfig] = None,
+    ):
+        self.checked = checked
+        self.lowered = lowered if lowered is not None else lower_program(checked)
+        self.config = config or AnalysisConfig()
+        self.signatures: Dict[str, FnSig] = checked.signatures
+        self._results: Dict[str, FunctionFlowResult] = {}
+        self._call_graph: Optional[CallGraph] = None
+        self._mutable_ref_paths: Dict[str, Dict[int, Tuple[Tuple[int, ...], ...]]] = {}
+        self._provider = self._make_provider()
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_program(cls, program: Program, config: Optional[AnalysisConfig] = None) -> "FlowEngine":
+        checked = check_program(program)
+        return cls(checked, config=config)
+
+    @classmethod
+    def from_source(cls, source: str, config: Optional[AnalysisConfig] = None) -> "FlowEngine":
+        return cls.from_program(parse_program(source), config=config)
+
+    def _make_provider(self) -> CallSummaryProvider:
+        return _RecursiveSummaryProvider(self, root_crate=self.local_crate)
+
+    # -- program structure ---------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self.checked.program
+
+    @property
+    def local_crate(self) -> str:
+        return self.program.local_crate
+
+    @property
+    def call_graph(self) -> CallGraph:
+        if self._call_graph is None:
+            self._call_graph = build_call_graph(self.lowered)
+        return self._call_graph
+
+    def local_function_names(self) -> List[str]:
+        return sorted(body.fn_name for body in self.lowered.local_bodies())
+
+    def body(self, name: str) -> Optional[Body]:
+        return self.lowered.body(name)
+
+    def mutable_ref_paths(self, fn_name: str) -> Dict[int, Tuple[Tuple[int, ...], ...]]:
+        """Per parameter, the paths of its mutable references (cached)."""
+        if fn_name not in self._mutable_ref_paths:
+            sig = self.signatures.get(fn_name)
+            paths: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+            if sig is not None:
+                summary = summarize_signature(sig)
+                for index in range(sig.arity()):
+                    refs = summary.mutable_refs_of_param(index)
+                    if refs:
+                        paths[index] = tuple(info.path for info in refs)
+            self._mutable_ref_paths[fn_name] = paths
+        return self._mutable_ref_paths[fn_name]
+
+    # -- analysis -------------------------------------------------------------------
+
+    def analyze_function(self, name: str) -> FunctionFlowResult:
+        """Analyse one function (memoised per engine/configuration)."""
+        if name in self._results:
+            return self._results[name]
+        body = self.lowered.body(name)
+        if body is None:
+            raise KeyError(f"no body available for function {name!r}")
+        result = FunctionFlowAnalysis(
+            body=body,
+            signatures=self.signatures,
+            config=self.config,
+            provider=self._provider,
+        ).run()
+        self._results[name] = result
+        return result
+
+    def analyze_local_crate(self) -> ProgramFlowResult:
+        """Analyse every function of the local crate (the evaluation's unit)."""
+        program_result = ProgramFlowResult(config=self.config)
+        for name in self.local_function_names():
+            program_result.results[name] = self.analyze_function(name)
+        return program_result
+
+    def analyze_all(self) -> ProgramFlowResult:
+        """Analyse every function with a body, across all crates."""
+        program_result = ProgramFlowResult(config=self.config)
+        for name in sorted(self.lowered.bodies):
+            program_result.results[name] = self.analyze_function(name)
+        return program_result
+
+
+def analyze_program(
+    program: Program, config: Optional[AnalysisConfig] = None
+) -> ProgramFlowResult:
+    """Check, lower, and analyse every local-crate function of ``program``."""
+    return FlowEngine.from_program(program, config=config).analyze_local_crate()
+
+
+def analyze_source(source: str, config: Optional[AnalysisConfig] = None) -> ProgramFlowResult:
+    """Parse, check, lower, and analyse MiniRust source text."""
+    return FlowEngine.from_source(source, config=config).analyze_local_crate()

@@ -1,0 +1,184 @@
+"""The dependency context Θ: places mapped to sets of locations.
+
+Section 2 of the paper introduces Θ as a map from memory places ``p`` to
+dependency sets ``κ`` (sets of expression labels ``ℓ``); Section 4.1 carries
+the same structure over to MIR, where the labels become CFG locations.  The
+context forms a join-semilattice under key-wise union — this module provides
+the lattice adapter used by the generic dataflow engine along with the read
+and (strong/weak) write operations over conflicts that the transfer function
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.mir.ir import Location, Place
+
+
+# Synthetic block index used to tag "argument i" pseudo-locations when
+# computing whole-program call summaries: Location(ARG_BLOCK, i) means "the
+# value of the i-th parameter at function entry".
+ARG_BLOCK = -2
+
+EMPTY_DEPS: FrozenSet[Location] = frozenset()
+
+
+def arg_location(index: int) -> Location:
+    """The synthetic location tagging parameter ``index`` at entry."""
+    return Location(ARG_BLOCK, index)
+
+
+def is_arg_location(location: Location) -> bool:
+    return location.block == ARG_BLOCK
+
+
+@dataclass
+class DependencyContext:
+    """A single Θ: mapping from places to dependency sets.
+
+    The mapping is sparse — places never written or seeded simply have the
+    empty dependency set.  Values are immutable frozensets so contexts can be
+    copied cheaply (shallow dict copy).
+    """
+
+    deps: Dict[Place, FrozenSet[Location]] = field(default_factory=dict)
+
+    # -- basic access ---------------------------------------------------------
+
+    def get(self, place: Place) -> FrozenSet[Location]:
+        return self.deps.get(place, EMPTY_DEPS)
+
+    def set(self, place: Place, value: Iterable[Location]) -> None:
+        self.deps[place] = frozenset(value)
+
+    def add(self, place: Place, value: Iterable[Location]) -> None:
+        self.deps[place] = self.get(place) | frozenset(value)
+
+    def places(self) -> List[Place]:
+        return list(self.deps.keys())
+
+    def items(self) -> Iterator[Tuple[Place, FrozenSet[Location]]]:
+        return iter(self.deps.items())
+
+    def __contains__(self, place: Place) -> bool:
+        return place in self.deps
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    # -- reads over conflicts ----------------------------------------------------
+
+    def read_conflicts(self, target: Place) -> FrozenSet[Location]:
+        """Dependencies of reading ``target`` (T-Move / T-Copy).
+
+        Reading a place reads all of its sub-places, so the dependencies of
+        every tracked *descendant* (including the place itself) are included.
+        When the place itself is not tracked, the nearest tracked *ancestor*
+        describes the region it lives in and is included as a conservative
+        fallback.  Tracked ancestors are deliberately **not** consulted when
+        the place has its own entry — that is what makes the analysis
+        field-sensitive: after ``t.1 = 3``, reading ``t.0`` only sees
+        ``t.0``'s own dependencies even though ``Θ(t)`` grew (Section 2.1).
+        """
+        out: Set[Location] = set()
+        for place, deps in self.deps.items():
+            if target.is_prefix_of(place):
+                out |= deps
+        if target not in self.deps:
+            nearest: Optional[Place] = None
+            for place in self.deps:
+                if place.is_prefix_of(target) and place != target:
+                    if nearest is None or len(place.projection) > len(nearest.projection):
+                        nearest = place
+            if nearest is not None:
+                out |= self.deps[nearest]
+        return frozenset(out)
+
+    def read_many(self, targets: Iterable[Place]) -> FrozenSet[Location]:
+        out: Set[Location] = set()
+        for target in targets:
+            out |= self.read_conflicts(target)
+        return frozenset(out)
+
+    # -- writes over conflicts -----------------------------------------------------
+
+    def write_weak(self, target: Place, new_deps: Iterable[Location]) -> None:
+        """``update-conflicts`` from Section 2.1: add ``new_deps`` to every
+        tracked place conflicting with ``target`` (and to ``target`` itself)."""
+        additions = frozenset(new_deps)
+        for place in list(self.deps.keys()):
+            if place.conflicts_with(target):
+                self.deps[place] = self.deps[place] | additions
+        self.add(target, additions)
+
+    def write_strong(self, target: Place, new_deps: Iterable[Location]) -> None:
+        """A strong update: the target (and the sub-places it contains) now
+        depend exactly on ``new_deps``; ancestors accumulate them weakly.
+
+        Flowistry performs strong updates when the mutated place is
+        unambiguous; the paper's formal rule (T-Assign) is purely additive,
+        which is also available by disabling ``strong_updates`` in the
+        configuration.
+        """
+        replacement = frozenset(new_deps)
+        for place in list(self.deps.keys()):
+            if place == target:
+                continue
+            if target.is_prefix_of(place):
+                # Descendants are overwritten along with the target.
+                self.deps[place] = replacement
+            elif place.is_prefix_of(target):
+                # Ancestors changed partially: accumulate.
+                self.deps[place] = self.deps[place] | replacement
+        self.deps[target] = replacement
+
+    # -- structural operations --------------------------------------------------------
+
+    def copy(self) -> "DependencyContext":
+        return DependencyContext(dict(self.deps))
+
+    def join(self, other: "DependencyContext") -> "DependencyContext":
+        """Key-wise union: ``Θ1 ∨ Θ2`` from Section 4.1."""
+        merged = dict(self.deps)
+        for place, deps in other.deps.items():
+            existing = merged.get(place)
+            merged[place] = deps if existing is None else existing | deps
+        return DependencyContext(merged)
+
+    def equals(self, other: "DependencyContext") -> bool:
+        return self.deps == other.deps
+
+    def restrict_to_locals(self, locals_of_interest: Iterable[int]) -> "DependencyContext":
+        wanted = set(locals_of_interest)
+        return DependencyContext(
+            {place: deps for place, deps in self.deps.items() if place.local in wanted}
+        )
+
+    def total_size(self) -> int:
+        return sum(len(deps) for deps in self.deps.values())
+
+    def pretty(self, body=None) -> str:
+        lines = []
+        for place in sorted(self.deps, key=lambda p: (p.local, p.projection)):
+            deps = sorted(self.deps[place])
+            rendered = ", ".join(d.pretty() if d.block >= 0 else f"arg{d.statement}" for d in deps)
+            lines.append(f"{place.pretty(body)}: {{{rendered}}}")
+        return "\n".join(lines)
+
+
+class ThetaLattice:
+    """Adapter exposing :class:`DependencyContext` as a join-semilattice."""
+
+    def bottom(self) -> DependencyContext:
+        return DependencyContext()
+
+    def join(self, left: DependencyContext, right: DependencyContext) -> DependencyContext:
+        return left.join(right)
+
+    def equals(self, left: DependencyContext, right: DependencyContext) -> bool:
+        return left.equals(right)
+
+    def copy(self, state: DependencyContext) -> DependencyContext:
+        return state.copy()

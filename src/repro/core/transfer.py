@@ -1,0 +1,338 @@
+"""The MIR transfer function for information flow.
+
+This is the operational heart of the reproduction: the per-instruction state
+update of the forward dataflow analysis described in Section 4.1, whose
+formal counterparts are the typing rules of Section 2:
+
+* assignments (``T-Assign`` / ``T-AssignDeref``): the mutated place's
+  conflicts — resolved through the alias oracle when the place dereferences a
+  pointer — receive the dependencies of the right-hand side, the instruction
+  location, and the control dependencies of the enclosing block;
+* calls (``T-App``): with only the callee's signature, every place reachable
+  through a unique reference of an argument is assumed mutated with the
+  collective dependencies of all transitively readable argument data, and the
+  return value receives the same; with a whole-program summary, flows are
+  translated parameter-by-parameter instead;
+* borrows (``T-Borrow``): carry the dependencies of the borrowed place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.borrowck.oracle import AliasOracle
+from repro.borrowck.signatures import SignatureSummary, summarize_signature
+from repro.core.config import AnalysisConfig
+from repro.core.summaries import CallSummaryProvider, ModularSummaryProvider, WholeProgramSummary
+from repro.core.theta import DependencyContext
+from repro.dataflow.control_deps import ControlDependencies
+from repro.lang.ast import FnSig
+from repro.mir.ir import (
+    Aggregate,
+    BinaryOp,
+    Body,
+    CallTerminator,
+    Constant,
+    Location,
+    Operand,
+    Place,
+    Ref,
+    Rvalue,
+    Statement,
+    StatementKind,
+    SwitchBool,
+    Terminator,
+    UnaryOp,
+    Use,
+)
+
+
+@dataclass
+class FlowTransfer:
+    """Applies the effect of one MIR instruction to a dependency context Θ."""
+
+    body: Body
+    config: AnalysisConfig
+    oracle: AliasOracle
+    control_deps: ControlDependencies
+    signatures: Dict[str, FnSig]
+    provider: CallSummaryProvider = field(default_factory=ModularSummaryProvider)
+    # Populated during the analysis: call locations that cross a crate
+    # boundary (Section 5.4.2) and calls that fell back to the modular rule.
+    boundary_call_locations: Set[Location] = field(default_factory=set)
+    modular_fallback_locations: Set[Location] = field(default_factory=set)
+    _sig_summaries: Dict[str, SignatureSummary] = field(default_factory=dict)
+
+    # -- entry point -------------------------------------------------------------
+
+    def __call__(self, state: DependencyContext, body: Body, location: Location) -> None:
+        instruction = body.instruction_at(location)
+        if isinstance(instruction, Statement):
+            if instruction.kind is StatementKind.ASSIGN:
+                assert instruction.place is not None and instruction.rvalue is not None
+                self._transfer_assign(state, location, instruction.place, instruction.rvalue)
+            return
+        if isinstance(instruction, CallTerminator):
+            self._transfer_call(state, location, instruction)
+            return
+        # Gotos, switches, and returns do not modify Θ directly; indirect
+        # flows from switches are accounted for via control dependencies at
+        # each mutation site.
+
+    # -- reading dependencies ------------------------------------------------------
+
+    def deps_of_place_read(self, state: DependencyContext, place: Place) -> FrozenSet[Location]:
+        """Dependencies of reading ``place`` (T-Move / T-Copy).
+
+        The read is resolved through the alias oracle (a dereference may
+        denote several places) and gathered over conflicts; when the place
+        dereferences a pointer, the pointer's own dependencies are included
+        because *which* location is read depends on the pointer value.
+        """
+        resolved = self.oracle.resolve(place)
+        deps = set(state.read_many(resolved))
+        if place.has_deref():
+            deps |= state.read_conflicts(place.base_local())
+        return frozenset(deps)
+
+    def deps_of_operand(self, state: DependencyContext, operand: Operand) -> FrozenSet[Location]:
+        place = operand.place()
+        if place is None:
+            return frozenset()
+        return self.deps_of_place_read(state, place)
+
+    def deps_of_rvalue(self, state: DependencyContext, rvalue: Rvalue) -> FrozenSet[Location]:
+        if isinstance(rvalue, Ref):
+            # T-Borrow: the borrow's dependencies are those of the places the
+            # new reference may point to.
+            return self.deps_of_place_read(state, rvalue.referent)
+        deps: Set[Location] = set()
+        for operand in rvalue.operands():
+            deps |= self.deps_of_operand(state, operand)
+        return frozenset(deps)
+
+    # -- control dependence -----------------------------------------------------------
+
+    def control_dependencies(
+        self, state: DependencyContext, block: int
+    ) -> FrozenSet[Location]:
+        """Locations and discriminant dependencies of the switches controlling
+        ``block`` (the indirect-flow component of Figure 1)."""
+        if not self.config.track_control_deps:
+            return frozenset()
+        deps: Set[Location] = set()
+        for controller in self.control_deps.controlling_blocks(block):
+            terminator = self.body.blocks[controller].terminator
+            deps.add(self.body.terminator_location(controller))
+            if isinstance(terminator, SwitchBool):
+                deps |= self.deps_of_operand(state, terminator.discr)
+        return frozenset(deps)
+
+    # -- mutation -----------------------------------------------------------------------
+
+    def mutate(
+        self,
+        state: DependencyContext,
+        target: Place,
+        new_deps: FrozenSet[Location],
+        force_weak: bool = False,
+    ) -> None:
+        """Update ``target`` (through the alias oracle) with ``new_deps``.
+
+        A strong update — replacing rather than accumulating dependencies —
+        is only sound when the mutated place is unambiguous: the target
+        resolves to exactly one place.  Otherwise (or when strong updates are
+        disabled for the ablation benches) the paper's additive
+        ``update-conflicts`` is used.
+        """
+        resolved = self.oracle.resolve(target)
+        strong = (
+            self.config.strong_updates
+            and not force_weak
+            and len(resolved) == 1
+        )
+        for concrete in resolved:
+            if strong:
+                state.write_strong(concrete, new_deps)
+            else:
+                state.write_weak(concrete, new_deps)
+
+    # -- statements ------------------------------------------------------------------------
+
+    def _transfer_assign(
+        self,
+        state: DependencyContext,
+        location: Location,
+        place: Place,
+        rvalue: Rvalue,
+    ) -> None:
+        control = self.control_dependencies(state, location.block)
+        deps = set(self.deps_of_rvalue(state, rvalue))
+        deps.add(location)
+        deps |= control
+        self.mutate(state, place, frozenset(deps))
+
+        # Field-sensitive refinement for aggregate construction (the paper's
+        # T-Let seeds every place within the new binding): each field of the
+        # destination depends only on the operand stored into it, so a later
+        # read of `t.0` does not see the dependencies of `t.1`.
+        if isinstance(rvalue, Aggregate):
+            resolved = self.oracle.resolve(place)
+            if len(resolved) == 1:
+                target = next(iter(resolved))
+                base = frozenset({location}) | control
+                for index, operand in enumerate(rvalue.ops):
+                    field_deps = self.deps_of_operand(state, operand) | base
+                    state.write_strong(target.project_field(index), field_deps)
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def _sig_summary(self, callee: str) -> Optional[SignatureSummary]:
+        if callee in self._sig_summaries:
+            return self._sig_summaries[callee]
+        sig = self.signatures.get(callee)
+        if sig is None:
+            return None
+        summary = summarize_signature(sig)
+        self._sig_summaries[callee] = summary
+        return summary
+
+    @staticmethod
+    def _ref_place(arg_place: Place, path: Sequence[int]) -> Place:
+        place = arg_place
+        for index in path:
+            place = place.project_field(index)
+        return place
+
+    def _arg_pointee_deps(
+        self,
+        state: DependencyContext,
+        arg_place: Place,
+        sig_summary: SignatureSummary,
+        param_index: int,
+    ) -> FrozenSet[Location]:
+        """Dependencies of everything readable *through* an argument's refs."""
+        deps: Set[Location] = set()
+        for info in sig_summary.all_refs_of_param(param_index):
+            ref_place = self._ref_place(arg_place, info.path)
+            pointee = ref_place.project_deref()
+            deps |= self.deps_of_place_read(state, pointee)
+        return frozenset(deps)
+
+    def _transfer_call(
+        self, state: DependencyContext, location: Location, call: CallTerminator
+    ) -> None:
+        sig_summary = self._sig_summary(call.func)
+        control = self.control_dependencies(state, location.block)
+
+        if self.provider.is_crate_boundary(call.func):
+            self.boundary_call_locations.add(location)
+
+        # Per-argument dependency bundles.
+        operand_deps: List[FrozenSet[Location]] = []
+        pointee_deps: List[FrozenSet[Location]] = []
+        arg_places: List[Optional[Place]] = []
+        for index, arg in enumerate(call.args):
+            operand_deps.append(self.deps_of_operand(state, arg))
+            place = arg.place()
+            arg_places.append(place)
+            if place is not None and sig_summary is not None:
+                pointee_deps.append(
+                    self._arg_pointee_deps(state, place, sig_summary, index)
+                )
+            else:
+                pointee_deps.append(frozenset())
+
+        summary: Optional[WholeProgramSummary] = None
+        if self.config.whole_program:
+            summary = self.provider.summary_for(call.func)
+            if summary is None:
+                self.modular_fallback_locations.add(location)
+
+        if summary is not None:
+            self._apply_whole_program_call(
+                state, location, call, summary, control, operand_deps, pointee_deps, arg_places
+            )
+        else:
+            self._apply_modular_call(
+                state, location, call, sig_summary, control, operand_deps, pointee_deps, arg_places
+            )
+
+    def _apply_modular_call(
+        self,
+        state: DependencyContext,
+        location: Location,
+        call: CallTerminator,
+        sig_summary: Optional[SignatureSummary],
+        control: FrozenSet[Location],
+        operand_deps: List[FrozenSet[Location]],
+        pointee_deps: List[FrozenSet[Location]],
+        arg_places: List[Optional[Place]],
+    ) -> None:
+        """T-App with only the signature available (the paper's key rule)."""
+        kappa_arg: Set[Location] = {location}
+        kappa_arg |= control
+        for deps in operand_deps:
+            kappa_arg |= deps
+        for deps in pointee_deps:
+            kappa_arg |= deps
+        kappa = frozenset(kappa_arg)
+
+        # Every place reachable through a unique reference of an argument may
+        # be mutated with all readable data as input.  Under Mut-blind, the
+        # mutability qualifier is ignored and shared references are treated
+        # the same way.
+        if sig_summary is not None:
+            for index, arg_place in enumerate(arg_places):
+                if arg_place is None:
+                    continue
+                refs = (
+                    sig_summary.all_refs_of_param(index)
+                    if self.config.mut_blind
+                    else sig_summary.mutable_refs_of_param(index)
+                )
+                for info in refs:
+                    ref_place = self._ref_place(arg_place, info.path)
+                    self.mutate(state, ref_place.project_deref(), kappa, force_weak=True)
+
+        # The return value is assumed to depend on every readable input.
+        self.mutate(state, call.destination, kappa)
+
+    def _apply_whole_program_call(
+        self,
+        state: DependencyContext,
+        location: Location,
+        call: CallTerminator,
+        summary: WholeProgramSummary,
+        control: FrozenSet[Location],
+        operand_deps: List[FrozenSet[Location]],
+        pointee_deps: List[FrozenSet[Location]],
+        arg_places: List[Optional[Place]],
+    ) -> None:
+        """Translate a recursively-computed callee summary to the call site."""
+
+        def arg_bundle(indices: FrozenSet[int]) -> Set[Location]:
+            deps: Set[Location] = set()
+            for index in indices:
+                if index < len(operand_deps):
+                    deps |= operand_deps[index]
+                    deps |= pointee_deps[index]
+            return deps
+
+        return_deps: Set[Location] = {location}
+        return_deps |= control
+        return_deps |= arg_bundle(summary.return_sources)
+        self.mutate(state, call.destination, frozenset(return_deps))
+
+        for (param_index, ref_path), sources in summary.mutations.items():
+            if param_index >= len(arg_places):
+                continue
+            arg_place = arg_places[param_index]
+            if arg_place is None:
+                continue
+            kappa: Set[Location] = {location}
+            kappa |= control
+            kappa |= arg_bundle(sources)
+            target = self._ref_place(arg_place, ref_path).project_deref()
+            self.mutate(state, target, frozenset(kappa), force_weak=True)

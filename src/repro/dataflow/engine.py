@@ -1,0 +1,150 @@
+"""A generic forward dataflow engine over join-semilattices.
+
+The information flow analysis of Section 4.1 is "a flow-sensitive, forward
+dataflow analysis pass" whose state (the dependency context Θ) forms a
+join-semilattice under key-wise set union; iteration to fixpoint is
+guaranteed to terminate because each function has finitely many places and
+locations.  This engine factors that structure out so the core analysis only
+supplies a transfer function, and so alternative analyses (for instance the
+liveness analysis used in tests, or future extensions) can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, List, Optional, Protocol, TypeVar
+
+from repro.dataflow.graph import forward_cfg, reverse_post_order
+from repro.mir.ir import Body, Location
+
+
+S = TypeVar("S")
+
+
+class JoinSemiLattice(Protocol[S]):
+    """The operations the engine needs from a dataflow domain."""
+
+    def bottom(self) -> S:
+        """The least element (initial state of unvisited blocks)."""
+
+    def join(self, left: S, right: S) -> S:
+        """Least upper bound of two states."""
+
+    def equals(self, left: S, right: S) -> bool:
+        """Whether two states are equal (fixpoint detection)."""
+
+    def copy(self, state: S) -> S:
+        """An independent copy of a state that transfer functions may mutate."""
+
+
+class TransferFunction(Protocol[S]):
+    """Applies the effect of one CFG location to a state, in place."""
+
+    def __call__(self, state: S, body: Body, location: Location) -> None: ...
+
+
+@dataclass
+class FixpointResult(Generic[S]):
+    """Per-block entry states plus on-demand recomputation inside blocks."""
+
+    body: Body
+    lattice: JoinSemiLattice
+    transfer: TransferFunction
+    entry_states: Dict[int, S] = field(default_factory=dict)
+    iterations: int = 0
+
+    def state_at(self, location: Location) -> S:
+        """The state *before* executing the instruction at ``location``."""
+        state = self.lattice.copy(self.entry_states[location.block])
+        for stmt_index in range(location.statement):
+            self.transfer(state, self.body, Location(location.block, stmt_index))
+        return state
+
+    def state_after(self, location: Location) -> S:
+        """The state *after* executing the instruction at ``location``."""
+        state = self.state_at(location)
+        self.transfer(state, self.body, location)
+        return state
+
+    def exit_states(self) -> Dict[int, S]:
+        """The state at the end of every block."""
+        out: Dict[int, S] = {}
+        for block_index, block in enumerate(self.body.blocks):
+            state = self.lattice.copy(self.entry_states[block_index])
+            for stmt_index in range(block.num_locations()):
+                self.transfer(state, self.body, Location(block_index, stmt_index))
+            out[block_index] = state
+        return out
+
+    def state_at_returns(self) -> S:
+        """Join of the exit states of all return blocks (the function's exit state)."""
+        exits = self.exit_states()
+        result = self.lattice.bottom()
+        for block in self.body.return_blocks():
+            result = self.lattice.join(result, exits[block])
+        return result
+
+
+class ForwardAnalysis(Generic[S]):
+    """Runs a forward dataflow analysis to fixpoint over a MIR body."""
+
+    def __init__(
+        self,
+        lattice: JoinSemiLattice,
+        transfer: TransferFunction,
+        boundary_state: Optional[Callable[[Body], S]] = None,
+        max_iterations: int = 10_000,
+    ):
+        self.lattice = lattice
+        self.transfer = transfer
+        self.boundary_state = boundary_state
+        self.max_iterations = max_iterations
+
+    def run(self, body: Body) -> FixpointResult[S]:
+        view = forward_cfg(body)
+        order = reverse_post_order(view)
+        position = {block: i for i, block in enumerate(order)}
+
+        entry_states: Dict[int, S] = {
+            block: self.lattice.bottom() for block in range(len(body.blocks))
+        }
+        if self.boundary_state is not None:
+            entry_states[0] = self.boundary_state(body)
+
+        # Worklist initialised in reverse post-order so most blocks see their
+        # predecessors' final states on the first pass.
+        worklist: List[int] = list(order)
+        in_worklist = set(worklist)
+        iterations = 0
+
+        while worklist:
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise RuntimeError(
+                    f"dataflow analysis did not converge on {body.fn_name!r}"
+                )
+            block_index = worklist.pop(0)
+            in_worklist.discard(block_index)
+
+            state = self.lattice.copy(entry_states[block_index])
+            block = body.blocks[block_index]
+            for stmt_index in range(block.num_locations()):
+                self.transfer(state, body, Location(block_index, stmt_index))
+
+            for successor in block.terminator.successors():
+                joined = self.lattice.join(entry_states[successor], state)
+                if not self.lattice.equals(joined, entry_states[successor]):
+                    entry_states[successor] = joined
+                    if successor not in in_worklist:
+                        # Insert keeping rough reverse post-order priority.
+                        in_worklist.add(successor)
+                        worklist.append(successor)
+                        worklist.sort(key=lambda b: position.get(b, len(position)))
+
+        return FixpointResult(
+            body=body,
+            lattice=self.lattice,
+            transfer=self.transfer,
+            entry_states=entry_states,
+            iterations=iterations,
+        )

@@ -1,0 +1,109 @@
+"""Light-weight CFG views and traversal orders.
+
+The dominator and dataflow algorithms only need successor/predecessor maps
+and a designated entry node.  :class:`CfgView` provides that abstraction both
+for a MIR body's forward CFG and for its reverse CFG (used to compute
+post-dominators), including the standard trick of adding a virtual exit node
+that all return blocks feed into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.mir.ir import Body
+
+
+VIRTUAL_EXIT = -1
+
+
+@dataclass
+class CfgView:
+    """An explicit graph over block indices (plus optional virtual exit)."""
+
+    entry: int
+    successors: Dict[int, List[int]] = field(default_factory=dict)
+    predecessors: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self.successors)
+
+    def succ(self, node: int) -> List[int]:
+        return self.successors.get(node, [])
+
+    def pred(self, node: int) -> List[int]:
+        return self.predecessors.get(node, [])
+
+    def reversed(self) -> "CfgView":
+        """The reverse graph (edges flipped), entry becomes the virtual exit."""
+        return CfgView(
+            entry=VIRTUAL_EXIT if VIRTUAL_EXIT in self.successors else self.entry,
+            successors={n: list(p) for n, p in self.predecessors.items()},
+            predecessors={n: list(s) for n, s in self.successors.items()},
+        )
+
+
+def forward_cfg(body: Body) -> CfgView:
+    """The forward CFG of a body, entry at block 0."""
+    successors: Dict[int, List[int]] = {}
+    predecessors: Dict[int, List[int]] = {i: [] for i in range(len(body.blocks))}
+    for index, block in enumerate(body.blocks):
+        succ = list(block.terminator.successors())
+        successors[index] = succ
+        for s in succ:
+            predecessors[s].append(index)
+    return CfgView(entry=0, successors=successors, predecessors=predecessors)
+
+
+def exit_augmented_cfg(body: Body) -> CfgView:
+    """The forward CFG with a virtual exit node fed by every return block.
+
+    Post-dominator computation needs a single exit; panics are excluded from
+    control dependence per Section 4.1, so only `Return` terminators connect
+    to the virtual exit.
+    """
+    view = forward_cfg(body)
+    view.successors[VIRTUAL_EXIT] = []
+    view.predecessors[VIRTUAL_EXIT] = []
+    for block in body.return_blocks():
+        view.successors[block] = view.successors.get(block, []) + [VIRTUAL_EXIT]
+        view.predecessors[VIRTUAL_EXIT].append(block)
+    return view
+
+
+def reverse_post_order(view: CfgView, entry: Optional[int] = None) -> List[int]:
+    """Reverse post-order over ``view`` starting at ``entry``.
+
+    Reverse post-order is the canonical iteration order for forward dataflow
+    problems: it visits each node after as many of its predecessors as
+    possible, which minimises the number of fixpoint iterations.
+    """
+    start = view.entry if entry is None else entry
+    visited = set()
+    post_order: List[int] = []
+
+    def visit(node: int) -> None:
+        stack = [(node, iter(view.succ(node)))]
+        visited.add(node)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(view.succ(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                post_order.append(current)
+                stack.pop()
+
+    visit(start)
+    return list(reversed(post_order))
+
+
+def post_order(view: CfgView, entry: Optional[int] = None) -> List[int]:
+    """Post-order traversal (children before parents)."""
+    return list(reversed(reverse_post_order(view, entry)))

@@ -1,0 +1,225 @@
+"""Diagnostics and source-location tracking shared by every compiler stage.
+
+The reproduction follows the paper's pipeline: surface MiniRust source is
+lexed, parsed, type checked, lowered to a MIR-style control-flow graph, and
+then analyzed for information flow.  Every stage reports problems through the
+same :class:`Diagnostic` type so that tools built on top (the slicer, the IFC
+checker, the evaluation harness) can surface errors uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, tracked as line/column pairs.
+
+    Lines and columns are 1-based, matching what editors display.  ``Span``
+    objects are attached to tokens, AST nodes, and MIR locations so that
+    analysis results (for example a backward slice) can be mapped back to the
+    source the user wrote.
+    """
+
+    start_line: int = 0
+    start_col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+
+    @staticmethod
+    def point(line: int, col: int) -> "Span":
+        """Create a zero-width span at a single position."""
+        return Span(line, col, line, col)
+
+    def merge(self, other: "Span") -> "Span":
+        """Return the smallest span covering both ``self`` and ``other``."""
+        if self.is_dummy():
+            return other
+        if other.is_dummy():
+            return self
+        start = min((self.start_line, self.start_col), (other.start_line, other.start_col))
+        end = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def is_dummy(self) -> bool:
+        """True when the span carries no real position information."""
+        return self == DUMMY_SPAN
+
+    def contains_line(self, line: int) -> bool:
+        """True when ``line`` is covered by this span."""
+        return self.start_line <= line <= self.end_line
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.is_dummy():
+            return "<unknown>"
+        return f"{self.start_line}:{self.start_col}"
+
+
+DUMMY_SPAN = Span(0, 0, 0, 0)
+
+
+class Severity(Enum):
+    """How serious a diagnostic is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single compiler message with an optional source location."""
+
+    severity: Severity
+    message: str
+    span: Span = DUMMY_SPAN
+    notes: tuple = ()
+
+    def render(self) -> str:
+        """Format the diagnostic the way a command-line compiler would."""
+        loc = "" if self.span.is_dummy() else f" at {self.span}"
+        lines = [f"{self.severity.value}{loc}: {self.message}"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.render()
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction library."""
+
+
+class LexError(ReproError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class ParseError(ReproError):
+    """Raised when the parser encounters a malformed program."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class TypeError_(ReproError):
+    """Raised when type checking fails.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`TypeError`; the public alias :data:`TypeCheckError` is preferred.
+    """
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+TypeCheckError = TypeError_
+
+
+class BorrowError(ReproError):
+    """Raised when the (lightweight) ownership checks reject a program."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class LoweringError(ReproError):
+    """Raised when AST-to-MIR lowering hits an unsupported construct."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class EvalError(ReproError):
+    """Raised by the interpreter for runtime failures (panics)."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class AnalysisError(ReproError):
+    """Raised when an information flow analysis cannot proceed."""
+
+    def __init__(self, message: str, span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulates diagnostics across a compilation session.
+
+    Stages append to a shared sink so a caller can decide whether to abort
+    after each stage (``raise_if_errors``) or keep going and report everything
+    at the end.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, span: Span = DUMMY_SPAN, notes: Iterable[str] = ()) -> Diagnostic:
+        diag = Diagnostic(Severity.ERROR, message, span, tuple(notes))
+        self.diagnostics.append(diag)
+        return diag
+
+    def warning(self, message: str, span: Span = DUMMY_SPAN, notes: Iterable[str] = ()) -> Diagnostic:
+        diag = Diagnostic(Severity.WARNING, message, span, tuple(notes))
+        self.diagnostics.append(diag)
+        return diag
+
+    def note(self, message: str, span: Span = DUMMY_SPAN) -> Diagnostic:
+        diag = Diagnostic(Severity.NOTE, message, span)
+        self.diagnostics.append(diag)
+        return diag
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def raise_if_errors(self, exc_class=ReproError) -> None:
+        """Raise ``exc_class`` with a combined message if any error was recorded."""
+        if self.has_errors():
+            message = "\n".join(d.render() for d in self.errors)
+            raise exc_class(message)
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def clear(self) -> None:
+        self.diagnostics.clear()
+
+    def render(self) -> str:
+        return "\n".join(d.render() for d in self.diagnostics)
+
+
+def first_error(diags: Iterable[Diagnostic]) -> Optional[Diagnostic]:
+    """Return the first error severity diagnostic, or ``None``."""
+    for diag in diags:
+        if diag.severity is Severity.ERROR:
+            return diag
+    return None

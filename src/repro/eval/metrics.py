@@ -1,0 +1,100 @@
+"""Dataset statistics: the reproduction of Table 1.
+
+Table 1 reports, per crate: lines of code, number of variables analysed,
+number of functions, and the average number of MIR instructions per function.
+We compute the same metrics over the generated corpus — LOC over the
+generated source, and the MIR metrics over the lowered bodies of each crate's
+local functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.corpus import GeneratedCrate
+from repro.lang.typeck import CheckedProgram, check_program
+from repro.mir.lower import LoweredProgram, lower_program
+
+
+@dataclass
+class CrateMetrics:
+    """Table 1 metrics for one crate."""
+
+    name: str
+    purpose: str
+    loc: int
+    num_variables: int
+    num_functions: int
+    avg_instrs_per_fn: float
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "crate": self.name,
+            "purpose": self.purpose,
+            "loc": self.loc,
+            "vars": self.num_variables,
+            "funcs": self.num_functions,
+            "avg_instrs_per_fn": round(self.avg_instrs_per_fn, 1),
+        }
+
+
+@dataclass
+class DatasetMetrics:
+    """Metrics for the whole corpus, plus totals."""
+
+    crates: List[CrateMetrics] = field(default_factory=list)
+
+    def totals(self) -> Dict[str, object]:
+        return {
+            "crate": "Total",
+            "purpose": "",
+            "loc": sum(c.loc for c in self.crates),
+            "vars": sum(c.num_variables for c in self.crates),
+            "funcs": sum(c.num_functions for c in self.crates),
+            "avg_instrs_per_fn": round(
+                sum(c.avg_instrs_per_fn * c.num_functions for c in self.crates)
+                / max(1, sum(c.num_functions for c in self.crates)),
+                1,
+            ),
+        }
+
+    def sorted_by_variables(self) -> List[CrateMetrics]:
+        """Table 1 orders crates by increasing number of variables analysed."""
+        return sorted(self.crates, key=lambda c: c.num_variables)
+
+
+def metrics_for_crate(
+    generated: GeneratedCrate,
+    checked: Optional[CheckedProgram] = None,
+    lowered: Optional[LoweredProgram] = None,
+) -> CrateMetrics:
+    """Compute Table 1 metrics for one generated crate."""
+    checked = checked if checked is not None else check_program(generated.program)
+    lowered = lowered if lowered is not None else lower_program(checked)
+    bodies = lowered.bodies_in_crate(generated.name)
+    num_functions = len(bodies)
+    num_variables = sum(len(body.locals) for body in bodies)
+    total_instrs = sum(body.num_instructions() for body in bodies)
+    return CrateMetrics(
+        name=generated.name,
+        purpose=generated.spec.description,
+        loc=generated.loc(),
+        num_variables=num_variables,
+        num_functions=num_functions,
+        avg_instrs_per_fn=total_instrs / max(1, num_functions),
+    )
+
+
+def collect_metrics(corpus: Sequence[GeneratedCrate]) -> DatasetMetrics:
+    """Compute the Table 1 metrics for the whole corpus."""
+    return DatasetMetrics(crates=[metrics_for_crate(crate) for crate in corpus])
+
+
+def dataset_table(corpus: Sequence[GeneratedCrate]) -> List[Dict[str, object]]:
+    """Table 1 as a list of row dictionaries (ordered by #variables), with
+    the total row appended — the structure the benchmark harness prints."""
+    metrics = collect_metrics(corpus)
+    rows = [crate.row() for crate in metrics.sorted_by_variables()]
+    rows.append(metrics.totals())
+    return rows

@@ -1,0 +1,576 @@
+"""A reference interpreter for MiniRust.
+
+The interpreter plays the role of Oxide's small-step operational semantics in
+the paper's Section 3: it executes programs over a *stack of frames* mapping
+variables to values, with references represented as pointers into that stack.
+It exists so the reproduction can test the noninterference theorem
+empirically — run the same expression under two stacks that agree on a
+dependency set and check the observable results agree (see
+``tests/test_noninterference.py``).
+
+Design notes:
+
+* Values are deep-copied on reads of non-reference data, matching Rust's
+  move/copy semantics; the only aliasing comes from explicit references.
+* References are ``(frame id, variable, field path)`` triples.  Well-typed,
+  ownership-respecting programs never dereference a frame that has been
+  popped; the interpreter raises :class:`EvalError` if that happens.
+* Arithmetic is wrapping ``u32`` arithmetic; division by zero raises, which
+  models a Rust panic (and, like the paper, panics are outside the analysed
+  behaviours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import EvalError
+from repro.lang import ast
+from repro.lang.typeck import CheckedProgram
+from repro.lang.types import RefType, StructType, TupleType, Type
+
+U32_MODULUS = 2 ** 32
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+class Value:
+    """Base class for runtime values."""
+
+    def copy(self) -> "Value":
+        return self
+
+    def pretty(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class VUnit(Value):
+    def pretty(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class VInt(Value):
+    value: int
+
+    def pretty(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VBool(Value):
+    value: bool
+
+    def pretty(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass
+class VTuple(Value):
+    elements: List[Value]
+
+    def copy(self) -> "VTuple":
+        return VTuple([element.copy() for element in self.elements])
+
+    def pretty(self) -> str:
+        return "(" + ", ".join(e.pretty() for e in self.elements) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VTuple) and self.elements == other.elements
+
+
+@dataclass
+class VStruct(Value):
+    name: str
+    fields: List[Value]
+
+    def copy(self) -> "VStruct":
+        return VStruct(self.name, [f.copy() for f in self.fields])
+
+    def pretty(self) -> str:
+        return f"{self.name}(" + ", ".join(f.pretty() for f in self.fields) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VStruct)
+            and self.name == other.name
+            and self.fields == other.fields
+        )
+
+
+@dataclass(frozen=True)
+class VRef(Value):
+    """A pointer to a location on the interpreter stack (Oxide's ``ptr π``)."""
+
+    frame_id: int
+    var: str
+    path: Tuple[int, ...] = ()
+    mutable: bool = False
+
+    def pretty(self) -> str:
+        path = "".join(f".{index}" for index in self.path)
+        prefix = "&mut " if self.mutable else "&"
+        return f"{prefix}{self.var}{path}@{self.frame_id}"
+
+
+UNIT_VALUE = VUnit()
+
+
+# ---------------------------------------------------------------------------
+# Stack
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Frame:
+    """One stack frame: a mapping from variable names to values."""
+
+    frame_id: int
+    fn_name: str
+    slots: Dict[str, Value] = field(default_factory=dict)
+
+
+class Stack:
+    """The runtime stack ``σ``: a list of frames with stable ids."""
+
+    def __init__(self) -> None:
+        self.frames: List[Frame] = []
+        self._next_id = 0
+
+    def push(self, fn_name: str) -> Frame:
+        frame = Frame(self._next_id, fn_name)
+        self._next_id += 1
+        self.frames.append(frame)
+        return frame
+
+    def pop(self) -> Frame:
+        return self.frames.pop()
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    def frame_by_id(self, frame_id: int) -> Frame:
+        for frame in reversed(self.frames):
+            if frame.frame_id == frame_id:
+                return frame
+        raise EvalError(f"dangling reference into popped frame {frame_id}")
+
+    # -- place resolution ---------------------------------------------------
+
+    def read(self, frame_id: int, var: str, path: Sequence[int]) -> Value:
+        frame = self.frame_by_id(frame_id)
+        if var not in frame.slots:
+            raise EvalError(f"read of unbound variable {var!r}")
+        value = frame.slots[var]
+        for index in path:
+            value = _project(value, index)
+        return value
+
+    def write(self, frame_id: int, var: str, path: Sequence[int], new_value: Value) -> None:
+        frame = self.frame_by_id(frame_id)
+        if var not in frame.slots:
+            raise EvalError(f"write to unbound variable {var!r}")
+        if not path:
+            frame.slots[var] = new_value
+            return
+        container = frame.slots[var]
+        for index in path[:-1]:
+            container = _project(container, index)
+        _assign_field(container, path[-1], new_value)
+
+
+def _project(value: Value, index: int) -> Value:
+    if isinstance(value, VTuple):
+        if index >= len(value.elements):
+            raise EvalError(f"tuple index {index} out of range")
+        return value.elements[index]
+    if isinstance(value, VStruct):
+        if index >= len(value.fields):
+            raise EvalError(f"struct field index {index} out of range for {value.name}")
+        return value.fields[index]
+    raise EvalError(f"cannot project field {index} out of {value.pretty()}")
+
+
+def _assign_field(container: Value, index: int, new_value: Value) -> None:
+    if isinstance(container, VTuple):
+        container.elements[index] = new_value
+    elif isinstance(container, VStruct):
+        container.fields[index] = new_value
+    else:
+        raise EvalError(f"cannot assign field {index} of {container.pretty()}")
+
+
+# ---------------------------------------------------------------------------
+# Control-flow signals
+# ---------------------------------------------------------------------------
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Value):
+        super().__init__("return")
+        self.value = value
+
+
+ExternImpl = Callable[["Interpreter", List[Value]], Value]
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+class Interpreter:
+    """Evaluates functions of a checked program.
+
+    Parameters
+    ----------
+    checked:
+        The type-checked program to execute.
+    extern_impls:
+        Optional Python implementations for ``extern fn`` declarations.  Any
+        call to an extern function without an implementation raises
+        :class:`EvalError`.
+    fuel:
+        Maximum number of expression evaluations before the interpreter
+        aborts; protects property-based tests from accidental infinite loops.
+    """
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        extern_impls: Optional[Dict[str, ExternImpl]] = None,
+        fuel: int = 1_000_000,
+    ):
+        self.checked = checked
+        self.program = checked.program
+        self.extern_impls = dict(extern_impls or {})
+        self.fuel = fuel
+        self.steps = 0
+        self.stack = Stack()
+
+    # -- entry points ---------------------------------------------------------
+
+    def call_function(self, name: str, args: Sequence[Value]) -> Value:
+        """Call a named function with already-evaluated argument values."""
+        decl = self.program.function(name)
+        if decl is None:
+            raise EvalError(f"call to undefined function {name!r}")
+        if decl.body is None:
+            impl = self.extern_impls.get(name)
+            if impl is None:
+                raise EvalError(f"extern function {name!r} has no interpreter implementation")
+            return impl(self, list(args))
+        if len(args) != len(decl.params):
+            raise EvalError(
+                f"{name!r} expects {len(decl.params)} arguments, got {len(args)}"
+            )
+
+        frame = self.stack.push(name)
+        try:
+            for param, arg in zip(decl.params, args):
+                frame.slots[param.name] = arg
+            try:
+                result = self._eval_block(decl.body, frame)
+            except _ReturnSignal as signal:
+                result = signal.value
+            return result
+        finally:
+            self.stack.pop()
+
+    def run_with_env(self, name: str, env: Dict[str, Value]) -> Tuple[Value, Dict[str, Value]]:
+        """Call ``name`` with an initial environment, returning result and final frame.
+
+        Used by the noninterference tests: the environment is the initial
+        stack frame, and the returned dictionary is the frame's contents after
+        the function body finished, so callers can compare memory effects.
+        """
+        decl = self.program.function(name)
+        if decl is None or decl.body is None:
+            raise EvalError(f"cannot run function {name!r} with an environment")
+        frame = self.stack.push(name)
+        try:
+            for key, value in env.items():
+                frame.slots[key] = value
+            try:
+                result = self._eval_block(decl.body, frame)
+            except _ReturnSignal as signal:
+                result = signal.value
+            return result, dict(frame.slots)
+        finally:
+            self.stack.pop()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.fuel:
+            raise EvalError("interpreter ran out of fuel (possible infinite loop)")
+
+    def default_value(self, ty: Type) -> Value:
+        """A zero-initialised value of type ``ty`` (used to build test stacks)."""
+        from repro.lang.types import BoolType, U32Type, UnitType
+
+        if isinstance(ty, UnitType):
+            return UNIT_VALUE
+        if isinstance(ty, U32Type):
+            return VInt(0)
+        if isinstance(ty, BoolType):
+            return VBool(False)
+        if isinstance(ty, TupleType):
+            return VTuple([self.default_value(t) for t in ty.elements])
+        if isinstance(ty, StructType):
+            return VStruct(ty.name, [self.default_value(t) for _, t in ty.fields])
+        if isinstance(ty, RefType):
+            raise EvalError("cannot build a default value for a reference type")
+        raise EvalError(f"cannot build a default value for {ty.pretty()}")
+
+    # -- blocks and statements --------------------------------------------------
+
+    def _eval_block(self, block: ast.Block, frame: Frame) -> Value:
+        declared: List[str] = []
+        try:
+            for stmt in block.stmts:
+                name = self._eval_stmt(stmt, frame)
+                if name is not None:
+                    declared.append(name)
+            if block.tail is not None:
+                return self._eval_expr(block.tail, frame)
+            return UNIT_VALUE
+        finally:
+            # Block-local bindings go out of scope.  (Shadowed outer bindings
+            # are not restored; the corpus and tests do not rely on shadowing.)
+            for name in declared:
+                frame.slots.pop(name, None)
+
+    def _eval_stmt(self, stmt: ast.Stmt, frame: Frame) -> Optional[str]:
+        self._tick()
+        if isinstance(stmt, ast.LetStmt):
+            value = (
+                self._eval_expr(stmt.init, frame) if stmt.init is not None else UNIT_VALUE
+            )
+            frame.slots[stmt.name] = value
+            return stmt.name
+        if isinstance(stmt, ast.AssignStmt):
+            value = self._eval_expr(stmt.value, frame)
+            frame_id, var, path = self._resolve_place(stmt.target, frame)
+            self.stack.write(frame_id, var, path, value)
+            return None
+        if isinstance(stmt, ast.ExprStmt):
+            self._eval_expr(stmt.expr, frame)
+            return None
+        if isinstance(stmt, ast.WhileStmt):
+            while True:
+                self._tick()
+                cond = self._eval_expr(stmt.cond, frame)
+                if not self._as_bool(cond, stmt.cond):
+                    break
+                try:
+                    self._eval_block(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return None
+        if isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self._eval_expr(stmt.value, frame) if stmt.value is not None else UNIT_VALUE
+            )
+            raise _ReturnSignal(value)
+        if isinstance(stmt, ast.BreakStmt):
+            raise _BreakSignal()
+        if isinstance(stmt, ast.ContinueStmt):
+            raise _ContinueSignal()
+        raise EvalError(f"unsupported statement {type(stmt).__name__}", stmt.span)
+
+    # -- places -------------------------------------------------------------------
+
+    def _resolve_place(
+        self, expr: ast.Expr, frame: Frame
+    ) -> Tuple[int, str, Tuple[int, ...]]:
+        """Reduce a place expression to a concrete stack location.
+
+        Dereferences follow the pointer stored at the location reached so far,
+        mirroring Oxide's ``σ ⊢ p ⇓ π`` judgment.
+        """
+        if isinstance(expr, ast.Var):
+            return frame.frame_id, expr.name, ()
+        if isinstance(expr, ast.FieldAccess):
+            base_ty = expr.base.ty
+            frame_id, var, path = self._resolve_place(expr.base, frame)
+            # Auto-deref through references for field access.
+            while isinstance(base_ty, RefType):
+                pointer = self.stack.read(frame_id, var, path)
+                if not isinstance(pointer, VRef):
+                    raise EvalError("field access through a non-pointer value", expr.span)
+                frame_id, var, path = pointer.frame_id, pointer.var, pointer.path
+                base_ty = base_ty.pointee
+            index = expr.field_index if expr.field_index is not None else expr.fld
+            if not isinstance(index, int):
+                raise EvalError(f"unresolved field {expr.fld!r}", expr.span)
+            return frame_id, var, path + (index,)
+        if isinstance(expr, ast.Deref):
+            frame_id, var, path = self._resolve_place(expr.base, frame)
+            pointer = self.stack.read(frame_id, var, path)
+            if not isinstance(pointer, VRef):
+                raise EvalError("dereference of a non-pointer value", expr.span)
+            return pointer.frame_id, pointer.var, pointer.path
+        raise EvalError(f"expression is not a place: {type(expr).__name__}", expr.span)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _eval_expr(self, expr: ast.Expr, frame: Frame) -> Value:
+        self._tick()
+
+        if isinstance(expr, ast.Literal):
+            if expr.value is None:
+                return UNIT_VALUE
+            if isinstance(expr.value, bool):
+                return VBool(expr.value)
+            return VInt(expr.value % U32_MODULUS)
+
+        if isinstance(expr, ast.FieldAccess) and not expr.base.is_place():
+            # Projection out of a temporary value, e.g. `(a, b).0`: evaluate
+            # the base and project directly (no stack location is involved).
+            base_value = self._eval_expr(expr.base, frame)
+            base_ty = expr.base.ty
+            while isinstance(base_ty, RefType):
+                if not isinstance(base_value, VRef):
+                    raise EvalError("field access through a non-pointer value", expr.span)
+                base_value = self.stack.read(base_value.frame_id, base_value.var, base_value.path)
+                base_ty = base_ty.pointee
+            index = expr.field_index if expr.field_index is not None else expr.fld
+            if not isinstance(index, int):
+                raise EvalError(f"unresolved field {expr.fld!r}", expr.span)
+            return _project(base_value, index).copy()
+
+        if isinstance(expr, (ast.Var, ast.FieldAccess, ast.Deref)):
+            frame_id, var, path = self._resolve_place(expr, frame)
+            return self.stack.read(frame_id, var, path).copy()
+
+        if isinstance(expr, ast.Unary):
+            operand = self._eval_expr(expr.operand, frame)
+            if expr.op is ast.UnOp.NOT:
+                return VBool(not self._as_bool(operand, expr))
+            return VInt((-self._as_int(operand, expr)) % U32_MODULUS)
+
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, frame)
+
+        if isinstance(expr, ast.Borrow):
+            frame_id, var, path = self._resolve_place(expr.place, frame)
+            return VRef(frame_id, var, path, expr.mutable)
+
+        if isinstance(expr, ast.Call):
+            args = [self._eval_expr(arg, frame) for arg in expr.args]
+            return self.call_function(expr.func, args)
+
+        if isinstance(expr, ast.TupleExpr):
+            return VTuple([self._eval_expr(element, frame) for element in expr.elements])
+
+        if isinstance(expr, ast.StructLit):
+            struct = self.checked.registry.lookup(expr.struct_name)
+            if struct is None:
+                raise EvalError(f"unknown struct {expr.struct_name!r}", expr.span)
+            provided = {name: self._eval_expr(value, frame) for name, value in expr.fields}
+            ordered = [provided[name] for name in struct.field_names()]
+            return VStruct(struct.name, ordered)
+
+        if isinstance(expr, ast.If):
+            cond = self._eval_expr(expr.cond, frame)
+            if self._as_bool(cond, expr.cond):
+                return self._eval_block(expr.then_block, frame)
+            if expr.else_block is not None:
+                return self._eval_block(expr.else_block, frame)
+            return UNIT_VALUE
+
+        if isinstance(expr, ast.BlockExpr):
+            return self._eval_block(expr.block, frame)
+
+        raise EvalError(f"unsupported expression {type(expr).__name__}", expr.span)
+
+    def _eval_binary(self, expr: ast.Binary, frame: Frame) -> Value:
+        op = expr.op
+        if op is ast.BinOp.AND:
+            lhs = self._as_bool(self._eval_expr(expr.lhs, frame), expr.lhs)
+            if not lhs:
+                return VBool(False)
+            return VBool(self._as_bool(self._eval_expr(expr.rhs, frame), expr.rhs))
+        if op is ast.BinOp.OR:
+            lhs = self._as_bool(self._eval_expr(expr.lhs, frame), expr.lhs)
+            if lhs:
+                return VBool(True)
+            return VBool(self._as_bool(self._eval_expr(expr.rhs, frame), expr.rhs))
+
+        lhs = self._eval_expr(expr.lhs, frame)
+        rhs = self._eval_expr(expr.rhs, frame)
+
+        if op is ast.BinOp.EQ:
+            return VBool(lhs == rhs)
+        if op is ast.BinOp.NE:
+            return VBool(lhs != rhs)
+
+        left = self._as_int(lhs, expr.lhs)
+        right = self._as_int(rhs, expr.rhs)
+        if op is ast.BinOp.ADD:
+            return VInt((left + right) % U32_MODULUS)
+        if op is ast.BinOp.SUB:
+            return VInt((left - right) % U32_MODULUS)
+        if op is ast.BinOp.MUL:
+            return VInt((left * right) % U32_MODULUS)
+        if op is ast.BinOp.DIV:
+            if right == 0:
+                raise EvalError("division by zero", expr.span)
+            return VInt((left // right) % U32_MODULUS)
+        if op is ast.BinOp.REM:
+            if right == 0:
+                raise EvalError("remainder by zero", expr.span)
+            return VInt((left % right) % U32_MODULUS)
+        if op is ast.BinOp.LT:
+            return VBool(left < right)
+        if op is ast.BinOp.LE:
+            return VBool(left <= right)
+        if op is ast.BinOp.GT:
+            return VBool(left > right)
+        if op is ast.BinOp.GE:
+            return VBool(left >= right)
+        raise EvalError(f"unsupported binary operator {op}", expr.span)
+
+    # -- conversions ------------------------------------------------------------------
+
+    def _as_bool(self, value: Value, expr: ast.Expr) -> bool:
+        if isinstance(value, VBool):
+            return value.value
+        raise EvalError(f"expected bool, found {value.pretty()}", expr.span)
+
+    def _as_int(self, value: Value, expr: ast.Expr) -> int:
+        if isinstance(value, VInt):
+            return value.value
+        raise EvalError(f"expected u32, found {value.pretty()}", expr.span)
+
+
+def evaluate_function(
+    checked: CheckedProgram,
+    name: str,
+    args: Sequence[Value] = (),
+    extern_impls: Optional[Dict[str, ExternImpl]] = None,
+) -> Value:
+    """Convenience wrapper: run ``name`` on ``args`` and return its result."""
+    interpreter = Interpreter(checked, extern_impls=extern_impls)
+    return interpreter.call_function(name, list(args))

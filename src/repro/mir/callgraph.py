@@ -1,0 +1,111 @@
+"""Call graph construction over lowered MIR bodies.
+
+The whole-program analysis variant (Section 5's ``Whole-program`` condition)
+recurses into callee definitions; the call graph provides the reachability
+and cycle information needed to bound that recursion.  The evaluation harness
+also uses it to build the deep-call-graph performance workload (the
+``GameEngine::render`` style case from Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.mir.ir import Body, CallTerminator
+from repro.mir.lower import LoweredProgram
+
+
+@dataclass
+class CallGraph:
+    """A directed graph of function names with call-site multiplicity."""
+
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    nodes: Set[str] = field(default_factory=set)
+
+    def add_node(self, name: str) -> None:
+        self.nodes.add(name)
+        self.edges.setdefault(name, [])
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        self.add_node(caller)
+        self.nodes.add(callee)
+        self.edges[caller].append(callee)
+
+    def callees(self, name: str) -> List[str]:
+        return self.edges.get(name, [])
+
+    def unique_callees(self, name: str) -> List[str]:
+        return sorted(set(self.callees(name)))
+
+    def callers(self, name: str) -> List[str]:
+        return sorted(
+            caller for caller, callees in self.edges.items() if name in callees
+        )
+
+    def reachable_from(self, name: str) -> Set[str]:
+        """All functions transitively reachable from ``name`` (including it)."""
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, []))
+        return seen
+
+    def transitive_call_count(self, name: str) -> int:
+        """Number of distinct functions reachable from ``name`` (excluding it)."""
+        return len(self.reachable_from(name)) - 1
+
+    def in_cycle(self, name: str) -> bool:
+        """Whether ``name`` participates in a call cycle (including self-recursion)."""
+        for callee in self.edges.get(name, []):
+            if callee == name:
+                return True
+            if name in self.reachable_from(callee):
+                return True
+        return False
+
+    def topological_order(self) -> List[str]:
+        """Callees-before-callers order; cycles are broken arbitrarily."""
+        visited: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(node: str) -> None:
+            state = visited.get(node, 0)
+            if state != 0:
+                return
+            visited[node] = 1
+            for callee in self.edges.get(node, []):
+                visit(callee)
+            visited[node] = 2
+            order.append(node)
+
+        for node in sorted(self.nodes):
+            visit(node)
+        return order
+
+
+def calls_in_body(body: Body) -> List[str]:
+    """Names of functions called (syntactically) in ``body``."""
+    return [
+        block.terminator.func
+        for block in body.blocks
+        if isinstance(block.terminator, CallTerminator)
+    ]
+
+
+def build_call_graph(lowered: LoweredProgram) -> CallGraph:
+    """Build the call graph over all lowered bodies.
+
+    Extern functions appear as leaf nodes: they are part of the graph (so the
+    evaluation can count crate-boundary crossings) but have no outgoing edges.
+    """
+    graph = CallGraph()
+    for body in lowered.bodies.values():
+        graph.add_node(body.fn_name)
+        for callee in calls_in_body(body):
+            graph.add_edge(body.fn_name, callee)
+    return graph

@@ -1,0 +1,109 @@
+"""Structural validation of MIR bodies.
+
+Lowering bugs tend to manifest as dangling block targets, out-of-range
+locals, or type-less places.  The validator catches these early so the
+dataflow analyses can assume a well-formed CFG.  It is used by the test
+suite on every lowered function of the corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LoweringError
+from repro.mir.ir import (
+    Aggregate,
+    BasicBlock,
+    BinaryOp,
+    Body,
+    CallTerminator,
+    Constant,
+    Goto,
+    Operand,
+    Place,
+    Ref,
+    Return,
+    Rvalue,
+    Statement,
+    StatementKind,
+    SwitchBool,
+    UnaryOp,
+    Unreachable,
+    Use,
+)
+
+
+def validate_body(body: Body) -> List[str]:
+    """Return a list of structural problems (empty when the body is valid)."""
+    problems: List[str] = []
+    num_blocks = len(body.blocks)
+    num_locals = len(body.locals)
+
+    if num_blocks == 0:
+        return ["body has no basic blocks"]
+    if num_locals == 0:
+        problems.append("body has no locals (missing return place)")
+    if body.arg_count >= num_locals:
+        problems.append(
+            f"arg_count {body.arg_count} inconsistent with {num_locals} locals"
+        )
+
+    def check_place(place: Place, context: str) -> None:
+        if place.local < 0 or place.local >= num_locals:
+            problems.append(f"{context}: place references unknown local _{place.local}")
+            return
+        if body.place_ty(place) is None:
+            problems.append(
+                f"{context}: projection {place.pretty(body)} does not match the local's type"
+            )
+
+    def check_operand(operand: Operand, context: str) -> None:
+        place = operand.place()
+        if place is not None:
+            check_place(place, context)
+
+    def check_rvalue(rvalue: Rvalue, context: str) -> None:
+        if isinstance(rvalue, Use):
+            check_operand(rvalue.operand, context)
+        elif isinstance(rvalue, Ref):
+            check_place(rvalue.referent, context)
+        elif isinstance(rvalue, (BinaryOp, UnaryOp, Aggregate)):
+            for operand in rvalue.operands():
+                check_operand(operand, context)
+
+    for block_idx, block in enumerate(body.blocks):
+        for stmt_idx, stmt in enumerate(block.statements):
+            context = f"bb{block_idx}[{stmt_idx}]"
+            if stmt.kind is StatementKind.ASSIGN:
+                if stmt.place is None or stmt.rvalue is None:
+                    problems.append(f"{context}: assign statement missing place or rvalue")
+                    continue
+                check_place(stmt.place, context)
+                check_rvalue(stmt.rvalue, context)
+
+        terminator = block.terminator
+        context = f"bb{block_idx}[terminator]"
+        for successor in terminator.successors():
+            if successor < 0 or successor >= num_blocks:
+                problems.append(f"{context}: jump to unknown block bb{successor}")
+        if isinstance(terminator, SwitchBool):
+            check_operand(terminator.discr, context)
+        elif isinstance(terminator, CallTerminator):
+            for operand in terminator.args:
+                check_operand(operand, context)
+            check_place(terminator.destination, context)
+        elif isinstance(terminator, Unreachable):
+            problems.append(f"{context}: reachable block ends in 'unreachable'")
+
+    if not any(isinstance(block.terminator, Return) for block in body.blocks):
+        problems.append("body has no return block")
+
+    return problems
+
+
+def assert_valid(body: Body) -> None:
+    """Raise :class:`LoweringError` when ``body`` is structurally invalid."""
+    problems = validate_body(body)
+    if problems:
+        summary = "; ".join(problems)
+        raise LoweringError(f"invalid MIR for {body.fn_name!r}: {summary}")

@@ -1,0 +1,141 @@
+"""Tests for the IFC checker application (Figure 5b)."""
+
+import pytest
+
+from repro.apps.ifc import IfcChecker, IfcPolicy, SecurityLabel
+
+
+SOURCE = """
+struct Password { value: u32 }
+struct Session { user: u32 }
+
+extern fn insecure_print(x: u32);
+extern fn secure_log(x: u32);
+extern fn hash(x: u32) -> u32;
+extern fn declassify_and_print(x: u32);
+
+fn leak_direct(p: &Password) {
+    let h = hash(p.value);
+    insecure_print(h);
+}
+
+fn leak_implicit(p: &Password, guess: u32) {
+    if guess == p.value {
+        insecure_print(1);
+    }
+}
+
+fn no_leak(s: &Session, p: &Password) {
+    insecure_print(s.user);
+    secure_log(p.value);
+}
+
+fn leak_variable(secret_token: u32, noise: u32) {
+    insecure_print(secret_token + noise);
+}
+
+fn leak_via_declassify(p: &Password) {
+    declassify_and_print(p.value);
+}
+"""
+
+
+def make_checker(**policy_kwargs):
+    policy = IfcPolicy(**policy_kwargs)
+    policy.mark_type_secret("Password")
+    policy.mark_function_insecure("insecure_print")
+    return IfcChecker(SOURCE, policy)
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return make_checker()
+
+
+def test_direct_leak_is_detected(checker):
+    violations = checker.check_function("leak_direct")
+    assert len(violations) == 1
+    assert not violations[0].via_control_flow
+    assert violations[0].sink_function == "insecure_print"
+    assert "Password" in violations[0].source_description
+
+
+def test_implicit_leak_via_control_flow_is_detected(checker):
+    violations = checker.check_function("leak_implicit")
+    assert len(violations) == 1
+    assert violations[0].via_control_flow
+
+
+def test_clean_function_has_no_violations(checker):
+    assert checker.check_function("no_leak") == []
+
+
+def test_secret_variable_policy_by_name():
+    checker = make_checker()
+    checker.policy.mark_variable_secret("leak_variable", "secret_token")
+    violations = checker.check_function("leak_variable")
+    assert len(violations) == 1
+    assert "secret_token" in violations[0].source_description
+
+
+def test_wildcard_variable_policy():
+    policy = IfcPolicy()
+    policy.mark_function_insecure("insecure_print")
+    policy.secret_variables.add(("*", "secret_token"))
+    checker = IfcChecker(SOURCE, policy)
+    assert checker.check_function("leak_variable")
+
+
+def test_declassified_function_is_not_reported():
+    checker = make_checker()
+    checker.policy.mark_function_insecure("declassify_and_print")
+    checker.policy.declassified_functions.add("declassify_and_print")
+    assert checker.check_function("leak_via_declassify") == []
+
+
+def test_non_declassified_extra_sink_is_reported():
+    checker = make_checker()
+    checker.policy.mark_function_insecure("declassify_and_print")
+    violations = checker.check_function("leak_via_declassify")
+    assert len(violations) == 1
+
+
+def test_check_all_aggregates_program_violations(checker):
+    violations = checker.check_all()
+    functions = {v.fn_name for v in violations}
+    assert {"leak_direct", "leak_implicit"} <= functions
+    assert "no_leak" not in functions
+
+
+def test_report_renders_human_readable_text(checker):
+    report = checker.report()
+    assert "insecure flow" in report
+    assert "leak_direct" in report
+    assert "implicit (control) flow" in report
+
+
+def test_report_for_clean_program():
+    policy = IfcPolicy()
+    policy.mark_function_insecure("insecure_print")
+    clean_source = """
+    extern fn insecure_print(x: u32);
+    fn hello(x: u32) { insecure_print(x); }
+    """
+    checker = IfcChecker(clean_source, policy)
+    assert "no insecure flows" in checker.report()
+
+
+def test_policy_type_secrecy_traverses_references():
+    policy = IfcPolicy()
+    policy.mark_type_secret("Password")
+    from repro.lang.types import RefType, StructType, Mutability
+
+    password = StructType("Password", (("value",),))  # fields unused for the check
+    assert policy.type_is_secret(password)
+    assert policy.type_is_secret(RefType(password, Mutability.SHARED))
+    assert not policy.type_is_secret(None)
+
+
+def test_security_label_enum_values():
+    assert SecurityLabel.PUBLIC.value == "public"
+    assert SecurityLabel.SECRET.value == "secret"

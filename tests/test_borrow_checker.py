@@ -1,0 +1,192 @@
+"""Tests for the lightweight ownership-safety (borrow) checker."""
+
+import pytest
+
+from repro.borrowck.checker import check_all_bodies, check_body
+from repro.mir.lower import lower_program
+
+from conftest import lowered_from
+
+
+def violations_for(source, fn_name):
+    checked, lowered = lowered_from(source)
+    return check_body(lowered.body(fn_name), checked.signatures)
+
+
+# ---------------------------------------------------------------------------
+# Programs that must be accepted
+# ---------------------------------------------------------------------------
+
+
+def test_plain_arithmetic_is_safe():
+    assert violations_for("fn f(a: u32) -> u32 { a + 1 }", "f") == []
+
+
+def test_sequential_borrows_do_not_conflict():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let r1 = &mut x;
+        *r1 = 2;
+        let r2 = &mut x;
+        *r2 = 3;
+        x
+    }
+    """
+    assert violations_for(source, "f") == []
+
+
+def test_shared_borrows_of_same_place_coexist():
+    source = """
+    extern fn both(a: &u32, b: &u32) -> u32;
+    fn f() -> u32 {
+        let x = 1;
+        both(&x, &x)
+    }
+    """
+    assert violations_for(source, "f") == []
+
+
+def test_disjoint_field_borrows_coexist():
+    source = """
+    fn f() -> u32 {
+        let mut t = (1, 2);
+        let a = &mut t.0;
+        let b = &mut t.1;
+        *a = 10;
+        *b = 20;
+        t.0 + t.1
+    }
+    """
+    assert violations_for(source, "f") == []
+
+
+def test_mutation_after_loan_expires_is_safe():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let r = &x;
+        let y = *r;
+        x = 2;
+        x + y
+    }
+    """
+    assert violations_for(source, "f") == []
+
+
+def test_mutation_through_mut_ref_argument_is_safe():
+    source = """
+    struct S { v: u32 }
+    fn f(s: &mut S, n: u32) { s.v = n; }
+    """
+    assert violations_for(source, "f") == []
+
+
+# ---------------------------------------------------------------------------
+# Programs that must be rejected
+# ---------------------------------------------------------------------------
+
+
+def test_assign_while_shared_borrow_is_live():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let r = &x;
+        x = 2;
+        *r
+    }
+    """
+    violations = violations_for(source, "f")
+    assert violations
+    assert violations[0].kind == "assign-while-borrowed"
+    assert "borrowed" in violations[0].message
+
+
+def test_two_live_mutable_borrows_conflict():
+    source = """
+    extern fn use_both(a: &mut u32, b: &mut u32);
+    fn f() {
+        let mut x = 1;
+        let r1 = &mut x;
+        let r2 = &mut x;
+        use_both(r1, r2);
+    }
+    """
+    violations = violations_for(source, "f")
+    assert any(v.kind == "conflicting-borrow" for v in violations)
+
+
+def test_shared_and_mutable_borrow_conflict():
+    source = """
+    extern fn use_both(a: &u32, b: &mut u32);
+    fn f() {
+        let mut x = 1;
+        let shared = &x;
+        let unique = &mut x;
+        use_both(shared, unique);
+    }
+    """
+    violations = violations_for(source, "f")
+    assert any(v.kind == "conflicting-borrow" for v in violations)
+
+
+def test_borrow_of_whole_conflicts_with_borrow_of_field():
+    source = """
+    extern fn use_both(a: &mut u32, b: &mut (u32, u32));
+    fn f() {
+        let mut t = (1, 2);
+        let field_ref = &mut t.0;
+        let whole_ref = &mut t;
+        use_both(field_ref, whole_ref);
+    }
+    """
+    violations = violations_for(source, "f")
+    assert any(v.kind == "conflicting-borrow" for v in violations)
+
+
+def test_violation_renders_as_diagnostic():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let r = &x;
+        x = 2;
+        *r
+    }
+    """
+    violations = violations_for(source, "f")
+    diagnostic = violations[0].to_diagnostic()
+    assert "assign-while-borrowed" in diagnostic.render()
+
+
+# ---------------------------------------------------------------------------
+# Whole-program helpers and the corpus
+# ---------------------------------------------------------------------------
+
+
+def test_check_all_bodies_reports_only_offenders():
+    source = """
+    fn good(a: u32) -> u32 { a }
+    fn bad() -> u32 {
+        let mut x = 1;
+        let r = &x;
+        x = 2;
+        *r
+    }
+    """
+    checked, lowered = lowered_from(source)
+    report = check_all_bodies(lowered, checked.signatures)
+    assert set(report) == {"bad"}
+
+
+def test_generated_corpus_is_ownership_safe():
+    from repro.eval.corpus import CrateSpec, generate_crate
+    from repro.lang.typeck import check_program
+
+    spec = CrateSpec(name="bcheck", seed=5, n_structs=2, n_compute_helpers=2,
+                     n_getters=2, n_setters=2, n_passthrough=1, n_partial=1,
+                     n_disjoint=1, n_workers=6)
+    generated = generate_crate(spec)
+    checked = check_program(generated.program)
+    lowered = lower_program(checked)
+    report = check_all_bodies(lowered, checked.signatures)
+    assert report == {}, report

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+from conftest import GET_COUNT_SOURCE
+
+
+IFC_SOURCE = """
+struct Password { value: u32 }
+extern fn insecure_print(x: u32);
+
+fn leak(p: &Password) {
+    insecure_print(p.value);
+}
+
+fn fine(x: u32) {
+    insecure_print(x);
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "program.mrs"
+    path.write_text(GET_COUNT_SOURCE, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def ifc_file(tmp_path):
+    path = tmp_path / "ifc.mrs"
+    path.write_text(IFC_SOURCE, encoding="utf-8")
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parser_requires_a_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_mir_command_prints_blocks(source_file):
+    code, output = run_cli("mir", source_file)
+    assert code == 0
+    assert "bb0:" in output
+    assert "get_count" in output
+
+
+def test_mir_command_with_function_filter(source_file):
+    code, output = run_cli("mir", source_file, "--function", "get_count")
+    assert code == 0
+    assert output.count("fn get_count") == 1
+
+
+def test_mir_command_unknown_function_is_an_error(source_file):
+    code, output = run_cli("mir", source_file, "--function", "nope")
+    assert code == 2
+    assert "error" in output
+
+
+def test_analyze_command_prints_theta_and_sizes(source_file):
+    code, output = run_cli("analyze", source_file)
+    assert code == 0
+    assert "Θ(" in output
+    assert "dependency-set sizes" in output
+    assert "condition: Modular" in output
+
+
+def test_analyze_command_honours_condition_flags(source_file):
+    code, output = run_cli("analyze", source_file, "--mut-blind")
+    assert code == 0
+    assert "condition: Mut-blind" in output
+
+
+def test_slice_command_backward(source_file):
+    code, output = run_cli(
+        "slice", source_file, "--function", "get_count", "--variable", "h"
+    )
+    assert code == 0
+    assert "backward slice" in output
+    assert "insert" in output
+
+
+def test_slice_command_forward(source_file):
+    code, output = run_cli(
+        "slice", source_file, "--function", "get_count", "--variable", "k", "--forward"
+    )
+    assert code == 0
+    assert "forward slice" in output
+
+
+def test_ifc_command_reports_violation_with_nonzero_exit(ifc_file):
+    code, output = run_cli(
+        "ifc", ifc_file, "--secret-type", "Password", "--sink", "insecure_print"
+    )
+    assert code == 1
+    assert "leak" in output
+    assert "insecure_print" in output
+
+
+def test_ifc_command_clean_policy_exits_zero(ifc_file):
+    code, output = run_cli("ifc", ifc_file, "--sink", "insecure_print")
+    assert code == 0
+    assert "no insecure flows" in output
+
+
+def test_ifc_command_secret_variable_spec(ifc_file):
+    code, output = run_cli(
+        "ifc", ifc_file, "--secret-variable", "fine:x", "--sink", "insecure_print"
+    )
+    assert code == 1
+    assert "fine" in output
+
+
+def test_corpus_command_prints_table(tmp_path):
+    code, output = run_cli("corpus", "--scale", "0.1")
+    assert code == 0
+    assert "Table 1" in output
+    assert "rustpython" in output
+
+
+def test_corpus_command_single_crate_source():
+    code, output = run_cli("corpus", "--scale", "0.1", "--crate", "hyper")
+    assert code == 0
+    assert "crate hyper {" in output
+
+
+def test_corpus_command_unknown_crate_errors():
+    code, output = run_cli("corpus", "--scale", "0.1", "--crate", "nonexistent")
+    assert code == 2
+    assert "error" in output
+
+
+def test_missing_file_is_a_clean_error():
+    code, output = run_cli("mir", "/does/not/exist.mrs")
+    assert code == 2
+    assert "error" in output
+
+
+def test_experiment_command_small_scale():
+    code, output = run_cli("experiment", "--scale", "0.06")
+    assert code == 0
+    assert "measured vs paper" in output
+    assert "crate boundary" in output

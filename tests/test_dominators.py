@@ -1,0 +1,188 @@
+"""Tests for dominators, post-dominators, and control dependence."""
+
+from repro.dataflow.control_deps import compute_control_deps, control_dependence_matrix
+from repro.dataflow.dominators import compute_dominators, compute_post_dominators
+from repro.dataflow.graph import exit_augmented_cfg, forward_cfg, reverse_post_order
+from repro.mir.ir import SwitchBool
+
+from conftest import lowered_from
+
+
+DIAMOND = """
+extern fn use_value(x: u32);
+
+fn diamond(c: bool, a: u32, b: u32) -> u32 {
+    let mut out = 0;
+    if c {
+        out = a;
+    } else {
+        out = b;
+    }
+    out
+}
+"""
+
+LOOPY = """
+fn loopy(n: u32) -> u32 {
+    let mut i = 0;
+    let mut total = 0;
+    while i < n {
+        if i % 2 == 0 {
+            total = total + i;
+        }
+        i = i + 1;
+    }
+    total
+}
+"""
+
+
+def body_of(source, name):
+    _checked, lowered = lowered_from(source)
+    return lowered.body(name)
+
+
+def switch_blocks(body):
+    return [
+        index
+        for index, block in enumerate(body.blocks)
+        if isinstance(block.terminator, SwitchBool)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Traversal and dominators
+# ---------------------------------------------------------------------------
+
+
+def test_reverse_post_order_starts_at_entry_and_covers_graph():
+    body = body_of(DIAMOND, "diamond")
+    view = forward_cfg(body)
+    order = reverse_post_order(view)
+    assert order[0] == 0
+    assert set(order) == set(range(len(body.blocks)))
+
+
+def test_entry_dominates_everything():
+    body = body_of(DIAMOND, "diamond")
+    tree = compute_dominators(body)
+    for block in range(len(body.blocks)):
+        assert tree.dominates(0, block)
+
+
+def test_branch_does_not_dominate_join_children_crosswise():
+    body = body_of(DIAMOND, "diamond")
+    tree = compute_dominators(body)
+    switch = switch_blocks(body)[0]
+    then_block, else_block = body.blocks[switch].terminator.successors()
+    assert tree.dominates(switch, then_block)
+    assert tree.dominates(switch, else_block)
+    assert not tree.dominates(then_block, else_block)
+
+
+def test_dominators_of_lists_chain_to_entry():
+    body = body_of(DIAMOND, "diamond")
+    tree = compute_dominators(body)
+    last_block = body.return_blocks()[0]
+    chain = tree.dominators_of(last_block)
+    assert chain[0] == last_block
+    assert 0 in chain
+
+
+def test_post_dominators_virtual_exit_dominates_all():
+    body = body_of(DIAMOND, "diamond")
+    tree = compute_post_dominators(body)
+    from repro.dataflow.graph import VIRTUAL_EXIT
+
+    for block in range(len(body.blocks)):
+        assert tree.dominates(VIRTUAL_EXIT, block)
+
+
+def test_exit_augmented_cfg_connects_return_blocks():
+    body = body_of(DIAMOND, "diamond")
+    augmented = exit_augmented_cfg(body)
+    from repro.dataflow.graph import VIRTUAL_EXIT
+
+    for return_block in body.return_blocks():
+        assert VIRTUAL_EXIT in augmented.successors[return_block]
+
+
+# ---------------------------------------------------------------------------
+# Control dependence (Ferrante et al.)
+# ---------------------------------------------------------------------------
+
+
+def test_branch_arms_are_control_dependent_on_switch():
+    body = body_of(DIAMOND, "diamond")
+    deps = compute_control_deps(body)
+    switch = switch_blocks(body)[0]
+    then_block, else_block = body.blocks[switch].terminator.successors()
+    assert deps.is_control_dependent(then_block, switch)
+    assert deps.is_control_dependent(else_block, switch)
+
+
+def test_join_block_is_not_control_dependent_on_switch():
+    body = body_of(DIAMOND, "diamond")
+    deps = compute_control_deps(body)
+    switch = switch_blocks(body)[0]
+    return_block = body.return_blocks()[0]
+    assert not deps.is_control_dependent(return_block, switch)
+
+
+def test_loop_body_control_dependent_on_loop_condition():
+    body = body_of(LOOPY, "loopy")
+    deps = compute_control_deps(body)
+    switches = switch_blocks(body)
+    assert len(switches) == 2  # while condition + inner if
+    loop_switch = switches[0]
+    controlled = [b for b in range(len(body.blocks)) if deps.is_control_dependent(b, loop_switch)]
+    assert controlled  # the loop body blocks
+
+
+def test_nested_if_accumulates_transitive_control_deps():
+    body = body_of(LOOPY, "loopy")
+    deps = compute_control_deps(body, transitive=True)
+    switches = switch_blocks(body)
+    inner_switch = switches[1]
+    # Find a block controlled by the inner if; it must also depend on the
+    # outer while condition via transitivity.
+    inner_controlled = [
+        b for b in range(len(body.blocks)) if inner_switch in deps.controlling_blocks(b)
+    ]
+    assert inner_controlled
+    for block in inner_controlled:
+        assert switches[0] in deps.controlling_blocks(block)
+
+
+def test_non_transitive_mode_is_smaller_or_equal():
+    body = body_of(LOOPY, "loopy")
+    transitive = compute_control_deps(body, transitive=True)
+    direct = compute_control_deps(body, transitive=False)
+    for block in range(len(body.blocks)):
+        assert direct.controlling_blocks(block) <= transitive.controlling_blocks(block)
+
+
+def test_controlling_locations_point_at_switch_terminators():
+    body = body_of(DIAMOND, "diamond")
+    deps = compute_control_deps(body)
+    switch = switch_blocks(body)[0]
+    then_block = body.blocks[switch].terminator.successors()[0]
+    locations = deps.controlling_locations(then_block)
+    assert len(locations) == 1
+    assert locations[0] == body.terminator_location(switch)
+
+
+def test_control_dependence_matrix_inverts_relation():
+    body = body_of(DIAMOND, "diamond")
+    deps = compute_control_deps(body)
+    matrix = control_dependence_matrix(body)
+    switch = switch_blocks(body)[0]
+    for controlled in matrix[switch]:
+        assert switch in deps.controlling_blocks(controlled)
+
+
+def test_straight_line_code_has_no_control_deps():
+    body = body_of("fn f(a: u32) -> u32 { let b = a + 1; b * 2 }", "f")
+    deps = compute_control_deps(body)
+    for block in range(len(body.blocks)):
+        assert deps.controlling_blocks(block) == set()

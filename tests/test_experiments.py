@@ -1,0 +1,205 @@
+"""Tests for the experiment runner, metrics, reports, and perf study.
+
+These run on a heavily scaled-down corpus so the whole module finishes in a
+few seconds; the full-scale versions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.config import MODULAR, MUT_BLIND, REF_BLIND, WHOLE_PROGRAM
+from repro.eval.corpus import CrateSpec, generate_corpus
+from repro.eval.experiments import (
+    crate_boundary_study,
+    primary_experiment_conditions,
+    run_conditions,
+    run_full_experiment,
+)
+from repro.eval.metrics import collect_metrics, dataset_table
+from repro.eval.perf import compare_deep_call_graph, deep_call_graph_program, render_perf_report
+from repro.eval.report import (
+    render_boundary_study,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_summary_table,
+    render_table1,
+    render_table2,
+)
+from repro.eval.stats import summarize_differences
+
+
+TINY_SPECS = [
+    CrateSpec(name="alpha", seed=11, n_structs=2, n_compute_helpers=2, n_getters=2,
+              n_setters=2, n_passthrough=1, n_partial=1, n_disjoint=1, n_workers=5),
+    CrateSpec(name="beta", seed=22, n_structs=2, n_compute_helpers=2, n_getters=2,
+              n_setters=2, n_passthrough=1, n_partial=1, n_disjoint=1, n_workers=7,
+              p_shared_read=0.8),
+]
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return generate_corpus(specs=TINY_SPECS)
+
+
+@pytest.fixture(scope="module")
+def experiment(tiny_corpus):
+    return run_conditions(tiny_corpus, primary_experiment_conditions())
+
+
+# ---------------------------------------------------------------------------
+# Metrics (Table 1 / Table 2)
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_cover_all_crates(tiny_corpus):
+    metrics = collect_metrics(tiny_corpus)
+    assert {m.name for m in metrics.crates} == {"alpha", "beta"}
+    for crate_metrics in metrics.crates:
+        assert crate_metrics.loc > 0
+        assert crate_metrics.num_functions > 0
+        assert crate_metrics.num_variables > crate_metrics.num_functions
+        assert crate_metrics.avg_instrs_per_fn > 1
+
+
+def test_dataset_table_has_total_row(tiny_corpus):
+    rows = dataset_table(tiny_corpus)
+    assert rows[-1]["crate"] == "Total"
+    assert rows[-1]["funcs"] == sum(row["funcs"] for row in rows[:-1])
+
+
+# ---------------------------------------------------------------------------
+# Experiment data
+# ---------------------------------------------------------------------------
+
+
+def test_all_conditions_measure_the_same_variables(experiment):
+    sizes_by_condition = [run.sizes for run in experiment.runs.values()]
+    keys = set(sizes_by_condition[0])
+    for sizes in sizes_by_condition[1:]:
+        assert set(sizes) == keys
+    assert keys  # non-empty
+
+
+def test_whole_program_never_less_precise_than_modular(experiment):
+    modular = experiment.sizes(MODULAR)
+    whole = experiment.sizes(WHOLE_PROGRAM)
+    assert all(whole[k] <= modular[k] for k in modular)
+
+
+def test_ablations_never_more_precise_than_modular(experiment):
+    modular = experiment.sizes(MODULAR)
+    for condition in (MUT_BLIND, REF_BLIND):
+        ablated = experiment.sizes(condition)
+        violations = [k for k in modular if ablated[k] < modular[k]]
+        assert not violations, violations[:5]
+
+
+def test_comparison_shapes_match_paper_ordering(experiment):
+    wp_vs_mod = summarize_differences(experiment.comparison(WHOLE_PROGRAM, MODULAR))
+    mut = summarize_differences(experiment.comparison(MODULAR, MUT_BLIND))
+    # The ablation degrades precision for more variables than the modular
+    # approximation loses relative to whole-program (the paper's key shape).
+    assert mut.fraction_nonzero > wp_vs_mod.fraction_nonzero
+    # And the vast majority of variables are identical between Modular and
+    # Whole-program.
+    assert wp_vs_mod.fraction_zero > 0.8
+
+
+def test_function_times_are_recorded(experiment):
+    run = experiment.run(MODULAR)
+    assert run.function_times
+    assert run.median_function_time() > 0
+    assert run.total_seconds > 0
+    assert run.num_variables() == len(run.sizes)
+
+
+def test_boundary_study_is_consistent(experiment):
+    study = crate_boundary_study(experiment)
+    assert study.total_variables == len(experiment.sizes(MODULAR))
+    assert 0 <= study.fraction_boundary <= 1
+    assert study.nonzero_with_boundary + study.nonzero_without_boundary <= study.total_variables
+    row = study.row()
+    assert set(row) == {
+        "variables",
+        "hit_crate_boundary_pct",
+        "nonzero_diff_rate_with_boundary_pct",
+        "nonzero_diff_rate_without_boundary_pct",
+    }
+
+
+def test_run_full_experiment_wires_generation_and_conditions():
+    data = run_full_experiment(scale=0.1, conditions=[MODULAR], corpus=None)
+    assert "Modular" in data.runs
+    assert data.corpus
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+
+def test_render_table1_contains_crates_and_total(tiny_corpus):
+    text = render_table1(tiny_corpus)
+    assert "alpha" in text and "beta" in text and "Total" in text
+
+
+def test_render_table2_lists_generation_config(tiny_corpus):
+    text = render_table2(tiny_corpus)
+    assert "seed" in text
+    assert "alpha" in text
+
+
+def test_render_figure2_reports_identical_fraction(experiment):
+    text = render_figure2(experiment)
+    assert "identical dependency sets" in text
+    assert "[paper: 94%]" in text
+
+
+def test_render_figure3_covers_three_comparisons(experiment):
+    text = render_figure3(experiment)
+    assert "Mut-blind - Modular" in text
+    assert "Ref-blind - Modular" in text
+    assert "Modular - Whole-program" in text
+
+
+def test_render_figure4_reports_r_squared(experiment):
+    text = render_figure4(experiment)
+    assert "R^2" in text
+    assert "alpha" in text
+
+
+def test_render_boundary_and_summary(experiment):
+    assert "crate boundary" in render_boundary_study(experiment)
+    assert "measured vs paper" in render_summary_table(experiment)
+
+
+# ---------------------------------------------------------------------------
+# Performance study
+# ---------------------------------------------------------------------------
+
+
+def test_deep_call_graph_program_is_well_formed():
+    source = deep_call_graph_program(depth=3, fanout=2)
+    from conftest import lowered_from
+
+    checked, lowered = lowered_from(source)
+    assert lowered.body("game_engine_render") is not None
+    # 2^0 + 2^1 + 2^2 + 2^3 internal passes plus the wrapper.
+    assert len(lowered.local_bodies()) == 16 or len(lowered.local_bodies()) >= 15
+
+
+def test_compare_deep_call_graph_shows_whole_program_slowdown():
+    comparison = compare_deep_call_graph(depth=4, fanout=2)
+    assert comparison.call_graph_size > 10
+    assert comparison.whole_program_seconds > comparison.modular_seconds
+    assert comparison.slowdown > 1
+    row = comparison.row()
+    assert row["function"] == "game_engine_render"
+
+
+def test_render_perf_report_mentions_slowdown(experiment):
+    comparison = compare_deep_call_graph(depth=3, fanout=2)
+    text = render_perf_report(list(experiment.runs.values()), comparison)
+    assert "median per-function analysis time" in text
+    assert "slowdown" in text

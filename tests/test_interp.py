@@ -1,0 +1,276 @@
+"""Tests for the MiniRust reference interpreter."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang.interp import Interpreter, VBool, VInt, VStruct, VTuple, VUnit, evaluate_function
+
+from conftest import checked_from
+
+
+def run(source, fn_name, *args, externs=None):
+    checked = checked_from(source)
+    return evaluate_function(checked, fn_name, list(args), extern_impls=externs)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and control flow
+# ---------------------------------------------------------------------------
+
+
+def test_simple_arithmetic():
+    assert run("fn f() -> u32 { 2 + 3 * 4 }", "f") == VInt(14)
+
+
+def test_u32_wrapping_subtraction():
+    result = run("fn f() -> u32 { 0 - 1 }", "f")
+    assert result == VInt(2 ** 32 - 1)
+
+
+def test_division_and_remainder():
+    assert run("fn f() -> u32 { 17 / 5 }", "f") == VInt(3)
+    assert run("fn f() -> u32 { 17 % 5 }", "f") == VInt(2)
+
+
+def test_division_by_zero_panics():
+    with pytest.raises(EvalError):
+        run("fn f(x: u32) -> u32 { 1 / x }", "f", VInt(0))
+
+
+def test_comparisons_and_booleans():
+    assert run("fn f(a: u32, b: u32) -> bool { a < b && !(a == b) }", "f", VInt(1), VInt(2)) == VBool(True)
+    assert run("fn f(a: u32) -> bool { a >= 5 || a == 0 }", "f", VInt(0)) == VBool(True)
+
+
+def test_short_circuit_and_does_not_evaluate_rhs():
+    # The right operand would panic (division by zero) if evaluated.
+    source = "fn f(a: u32) -> bool { a > 0 && 1 / a > 0 }"
+    assert run(source, "f", VInt(0)) == VBool(False)
+
+
+def test_if_else_expression_value():
+    source = "fn f(c: bool) -> u32 { if c { 10 } else { 20 } }"
+    assert run(source, "f", VBool(True)) == VInt(10)
+    assert run(source, "f", VBool(False)) == VInt(20)
+
+
+def test_while_loop_accumulates():
+    source = """
+    fn f(n: u32) -> u32 {
+        let mut total = 0;
+        let mut i = 0;
+        while i < n {
+            total = total + i;
+            i = i + 1;
+        }
+        total
+    }
+    """
+    assert run(source, "f", VInt(5)) == VInt(10)
+
+
+def test_break_exits_loop():
+    source = """
+    fn f() -> u32 {
+        let mut i = 0;
+        while true {
+            if i == 7 { break; }
+            i = i + 1;
+        }
+        i
+    }
+    """
+    assert run(source, "f") == VInt(7)
+
+
+def test_continue_skips_iteration():
+    source = """
+    fn f() -> u32 {
+        let mut i = 0;
+        let mut evens = 0;
+        while i < 10 {
+            i = i + 1;
+            if i % 2 == 1 { continue; }
+            evens = evens + 1;
+        }
+        evens
+    }
+    """
+    assert run(source, "f") == VInt(5)
+
+
+def test_early_return():
+    source = """
+    fn f(x: u32) -> u32 {
+        if x == 0 { return 99; }
+        x
+    }
+    """
+    assert run(source, "f", VInt(0)) == VInt(99)
+    assert run(source, "f", VInt(3)) == VInt(3)
+
+
+# ---------------------------------------------------------------------------
+# Data structures and references
+# ---------------------------------------------------------------------------
+
+
+def test_tuple_construction_and_access():
+    source = "fn f() -> u32 { let t = (1, (2, 3)); t.1.0 + t.0 }"
+    assert run(source, "f") == VInt(3)
+
+
+def test_struct_construction_and_field_access():
+    source = """
+    struct Point { x: u32, y: u32 }
+    fn f() -> u32 { let p = Point { x: 3, y: 4 }; p.x * p.y }
+    """
+    assert run(source, "f") == VInt(12)
+
+
+def test_mutation_through_mutable_reference():
+    source = """
+    fn bump(x: &mut u32) { *x = *x + 1; }
+    fn f() -> u32 {
+        let mut v = 10;
+        bump(&mut v);
+        bump(&mut v);
+        v
+    }
+    """
+    assert run(source, "f") == VInt(12)
+
+
+def test_mutation_of_struct_field_through_reference():
+    source = """
+    struct Counter { hits: u32 }
+    fn inc(c: &mut Counter) { c.hits = c.hits + 1; }
+    fn f() -> u32 {
+        let mut c = Counter { hits: 0 };
+        inc(&mut c);
+        inc(&mut c);
+        c.hits
+    }
+    """
+    assert run(source, "f") == VInt(2)
+
+
+def test_reference_to_tuple_field():
+    source = """
+    fn f() -> u32 {
+        let mut t = (1, 2);
+        let r = &mut t.1;
+        *r = 42;
+        t.1
+    }
+    """
+    assert run(source, "f") == VInt(42)
+
+
+def test_values_are_copied_not_aliased():
+    source = """
+    struct S { v: u32 }
+    fn f() -> u32 {
+        let mut a = S { v: 1 };
+        let b = a;
+        a.v = 99;
+        b.v
+    }
+    """
+    assert run(source, "f") == VInt(1)
+
+
+def test_shared_reference_read():
+    source = """
+    struct S { v: u32 }
+    fn get(s: &S) -> u32 { s.v }
+    fn f() -> u32 { let s = S { v: 7 }; get(&s) }
+    """
+    assert run(source, "f") == VInt(7)
+
+
+def test_nested_function_calls():
+    source = """
+    fn double(x: u32) -> u32 { x * 2 }
+    fn quad(x: u32) -> u32 { double(double(x)) }
+    fn f() -> u32 { quad(3) }
+    """
+    assert run(source, "f") == VInt(12)
+
+
+def test_recursive_function():
+    source = """
+    fn fact(n: u32) -> u32 {
+        if n == 0 { 1 } else { n * fact(n - 1) }
+    }
+    """
+    assert run(source, "fact", VInt(5)) == VInt(120)
+
+
+# ---------------------------------------------------------------------------
+# Extern functions and error handling
+# ---------------------------------------------------------------------------
+
+
+def test_extern_function_with_python_implementation():
+    source = """
+    extern fn magic(x: u32) -> u32;
+    fn f() -> u32 { magic(10) }
+    """
+    checked = checked_from(source)
+    result = evaluate_function(
+        checked, "f", [], extern_impls={"magic": lambda interp, args: VInt(args[0].value + 32)}
+    )
+    assert result == VInt(42)
+
+
+def test_extern_without_implementation_raises():
+    source = """
+    extern fn mystery(x: u32) -> u32;
+    fn f() -> u32 { mystery(1) }
+    """
+    with pytest.raises(EvalError):
+        run(source, "f")
+
+
+def test_calling_undefined_function_raises():
+    checked = checked_from("fn f() -> u32 { 1 }")
+    interp = Interpreter(checked)
+    with pytest.raises(EvalError):
+        interp.call_function("nope", [])
+
+
+def test_fuel_limit_stops_infinite_loop():
+    source = "fn f() { while true { } }"
+    checked = checked_from(source)
+    interp = Interpreter(checked, fuel=1000)
+    with pytest.raises(EvalError):
+        interp.call_function("f", [])
+
+
+def test_run_with_env_exposes_final_frame():
+    source = """
+    fn f(x: u32) -> u32 {
+        let mut y = x + 1;
+        y = y * 2;
+        y
+    }
+    """
+    checked = checked_from(source)
+    interp = Interpreter(checked)
+    result, frame = interp.run_with_env("f", {"x": VInt(4)})
+    assert result == VInt(10)
+    assert frame["x"] == VInt(4)
+
+
+def test_default_value_construction():
+    source = """
+    struct P { a: u32, b: bool }
+    fn f() { }
+    """
+    checked = checked_from(source)
+    interp = Interpreter(checked)
+    struct_ty = checked.registry.lookup("P")
+    value = interp.default_value(struct_ty)
+    assert value == VStruct("P", [VInt(0), VBool(False)])
+    assert interp.default_value(checked.signatures["f"].ret_type) == VUnit()

@@ -1,0 +1,136 @@
+"""Tests for the MiniRust lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_integer_literal_value():
+    tokens = tokenize("42")
+    assert tokens[0].kind is TokenKind.INT
+    assert tokens[0].value == 42
+
+
+def test_integer_with_underscores():
+    tokens = tokenize("1_000_000")
+    assert tokens[0].value == 1000000
+
+
+def test_identifier_and_keywords():
+    assert kinds("fn foo let mut while") == [
+        TokenKind.KW_FN,
+        TokenKind.IDENT,
+        TokenKind.KW_LET,
+        TokenKind.KW_MUT,
+        TokenKind.KW_WHILE,
+    ]
+
+
+def test_keyword_prefix_is_identifier():
+    tokens = tokenize("letter")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].value == "letter"
+
+
+def test_lifetime_token():
+    tokens = tokenize("&'a mut u32")
+    assert tokens[0].kind is TokenKind.AMP
+    assert tokens[1].kind is TokenKind.LIFETIME
+    assert tokens[1].value == "a"
+    assert tokens[2].kind is TokenKind.KW_MUT
+
+
+def test_two_char_operators():
+    assert kinds("-> == != <= >= && ||") == [
+        TokenKind.ARROW,
+        TokenKind.EQEQ,
+        TokenKind.NE,
+        TokenKind.LE,
+        TokenKind.GE,
+        TokenKind.ANDAND,
+        TokenKind.OROR,
+    ]
+
+
+def test_single_char_operators():
+    assert kinds("+ - * / % ! < > = & . , ; :") == [
+        TokenKind.PLUS,
+        TokenKind.MINUS,
+        TokenKind.STAR,
+        TokenKind.SLASH,
+        TokenKind.PERCENT,
+        TokenKind.BANG,
+        TokenKind.LT,
+        TokenKind.GT,
+        TokenKind.EQ,
+        TokenKind.AMP,
+        TokenKind.DOT,
+        TokenKind.COMMA,
+        TokenKind.SEMI,
+        TokenKind.COLON,
+    ]
+
+
+def test_delimiters():
+    assert kinds("( ) { }") == [
+        TokenKind.LPAREN,
+        TokenKind.RPAREN,
+        TokenKind.LBRACE,
+        TokenKind.RBRACE,
+    ]
+
+
+def test_line_comments_are_skipped():
+    tokens = tokenize("1 // a comment with symbols !@#\n2")
+    values = [t.value for t in tokens if t.kind is TokenKind.INT]
+    assert values == [1, 2]
+
+
+def test_comment_at_end_of_file():
+    tokens = tokenize("x // trailing")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[1].kind is TokenKind.EOF
+
+
+def test_span_line_and_column_tracking():
+    tokens = tokenize("let x\n  = 1")
+    let_token, x_token, eq_token, one_token = tokens[:4]
+    assert let_token.span.start_line == 1
+    assert x_token.span.start_col == 5
+    assert eq_token.span.start_line == 2
+    assert eq_token.span.start_col == 3
+    assert one_token.span.start_line == 2
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("let x = #")
+
+
+def test_bare_quote_raises():
+    with pytest.raises(LexError):
+        tokenize("' ")
+
+
+def test_booleans_are_keywords():
+    assert kinds("true false") == [TokenKind.KW_TRUE, TokenKind.KW_FALSE]
+
+
+def test_tokenizes_full_function():
+    source = "fn add(a: u32, b: u32) -> u32 { a + b }"
+    token_kinds = kinds(source)
+    assert token_kinds[0] is TokenKind.KW_FN
+    assert TokenKind.ARROW in token_kinds
+    assert token_kinds.count(TokenKind.KW_U32) == 3

@@ -1,0 +1,178 @@
+"""Tests for loan-set computation (the Section 4.2 pointer analysis)."""
+
+from repro.borrowck.loans import compute_loans
+from repro.mir.ir import Place, PlaceElem
+
+from conftest import lowered_from
+
+
+def loans_for(source, fn_name):
+    checked, lowered = lowered_from(source)
+    body = lowered.body(fn_name)
+    return body, compute_loans(body, checked.signatures)
+
+
+def named_place(body, name, *fields):
+    place = Place.from_local(body.local_by_name(name).index)
+    for index in fields:
+        place = place.project_field(index)
+    return place
+
+
+def test_direct_borrow_records_loan():
+    body, loans = loans_for("fn f() { let mut x = 1; let r = &mut x; *r = 2; }", "f")
+    r = named_place(body, "r")
+    x = named_place(body, "x")
+    assert x in loans.loan_set(r)
+
+
+def test_borrow_of_field_is_field_sensitive():
+    source = """
+    fn f() -> u32 {
+        let mut t = (1, 2);
+        let r = &mut t.1;
+        *r = 5;
+        t.0
+    }
+    """
+    body, loans = loans_for(source, "f")
+    r = named_place(body, "r")
+    t = named_place(body, "t")
+    assert t.project_field(1) in loans.loan_set(r)
+    assert t.project_field(0) not in loans.loan_set(r)
+
+
+def test_reference_copy_propagates_loans():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let r1 = &mut x;
+        let r2 = r1;
+        *r2 = 3;
+        x
+    }
+    """
+    body, loans = loans_for(source, "f")
+    r2 = named_place(body, "r2")
+    assert named_place(body, "x") in loans.loan_set(r2)
+
+
+def test_resolve_deref_of_local_borrow():
+    body, loans = loans_for("fn f() { let mut x = 1; let r = &mut x; *r = 2; }", "f")
+    r = named_place(body, "r")
+    resolved = loans.resolve(r.project_deref())
+    assert resolved == frozenset({named_place(body, "x")})
+
+
+def test_resolve_argument_reference_is_abstract():
+    body, loans = loans_for("fn f(p: &mut u32) { *p = 1; }", "f")
+    p = named_place(body, "p")
+    resolved = loans.resolve(p.project_deref())
+    assert resolved == frozenset({p.project_deref()})
+
+
+def test_reborrow_through_reference_reaches_concrete_place():
+    # The §2.2 example: borrow a tuple, re-borrow a field of it, mutate.
+    source = """
+    fn f() -> u32 {
+        let mut x = (0, 0);
+        let y = &mut x;
+        let z = &mut y.1;
+        *z = 1;
+        x.1
+    }
+    """
+    body, loans = loans_for(source, "f")
+    z = named_place(body, "z")
+    x1 = named_place(body, "x").project_field(1)
+    assert x1 in loans.resolve(z.project_deref())
+
+
+def test_call_return_tied_by_lifetime_aliases_argument():
+    # view() returns a reference derived from its &mut argument (the iter /
+    # get_mut pattern): the destination's loans must include the argument's
+    # pointee.
+    source = """
+    struct S { v: u32 }
+    fn view(s: &mut S) -> &mut u32 { &mut s.v }
+    fn f(s: &mut S) {
+        let r = view(s);
+        *r = 9;
+    }
+    """
+    body, loans = loans_for(source, "f")
+    r = named_place(body, "r")
+    s = named_place(body, "s")
+    resolved = loans.resolve(r.project_deref())
+    # The returned pointer may point into the caller-owned memory behind `s`.
+    assert any(place.local == s.local and place.has_deref() for place in resolved)
+
+
+def test_call_without_ref_return_adds_no_loans():
+    source = """
+    extern fn len(v: &u32) -> u32;
+    fn f(x: &u32) -> u32 { len(x) }
+    """
+    body, loans = loans_for(source, "f")
+    # No local should have a loan set containing anything (no borrows at all).
+    assert all(not targets for targets in loans.loans.values())
+
+
+def test_aggregate_stores_ref_loans_per_field():
+    source = """
+    fn f() -> u32 {
+        let mut x = 1;
+        let mut y = 2;
+        let pair = (&mut x, &mut y);
+        *pair.0 = 10;
+        x
+    }
+    """
+    body, loans = loans_for(source, "f")
+    pair0 = named_place(body, "pair").project_field(0)
+    assert named_place(body, "x") in loans.resolve(pair0.project_deref())
+    assert named_place(body, "y") not in loans.resolve(pair0.project_deref())
+
+
+def test_borrowed_places_lists_all_targets():
+    source = """
+    fn f() {
+        let mut a = 1;
+        let mut b = 2;
+        let r1 = &mut a;
+        let r2 = &mut b;
+        *r1 = 3;
+        *r2 = 4;
+    }
+    """
+    body, loans = loans_for(source, "f")
+    borrowed = loans.borrowed_places()
+    assert named_place(body, "a") in borrowed
+    assert named_place(body, "b") in borrowed
+
+
+def test_loan_map_export_is_frozen():
+    body, loans = loans_for("fn f() { let mut x = 1; let r = &x; }", "f")
+    exported = loans.as_map()
+    for value in exported.values():
+        assert isinstance(value, frozenset)
+
+
+def test_conditional_borrow_merges_both_targets():
+    source = """
+    fn f(c: bool) -> u32 {
+        let mut a = 1;
+        let mut b = 2;
+        let mut r = &mut a;
+        if c {
+            r = &mut b;
+        }
+        *r = 7;
+        a + b
+    }
+    """
+    body, loans = loans_for(source, "f")
+    r = named_place(body, "r")
+    resolved = loans.resolve(r.project_deref())
+    assert named_place(body, "a") in resolved
+    assert named_place(body, "b") in resolved

@@ -1,0 +1,143 @@
+"""Tests for the MIR data structures (places, conflicts, bodies)."""
+
+from repro.lang.types import Mutability, RefType, StructType, TupleType, U32
+from repro.mir.ir import (
+    Location,
+    Place,
+    PlaceElem,
+    ProjectionKind,
+)
+
+from conftest import lowered_from
+
+
+def place(local, *elems):
+    projection = []
+    for elem in elems:
+        if elem == "*":
+            projection.append(PlaceElem.deref())
+        else:
+            projection.append(PlaceElem.fld(elem))
+    return Place(local, tuple(projection))
+
+
+# ---------------------------------------------------------------------------
+# Places and conflicts (Section 2.1)
+# ---------------------------------------------------------------------------
+
+
+def test_place_prefix_relation():
+    assert place(1).is_prefix_of(place(1, 0))
+    assert place(1, 0).is_prefix_of(place(1, 0, 1))
+    assert not place(1, 0).is_prefix_of(place(1, 1))
+    assert not place(1).is_prefix_of(place(2))
+
+
+def test_conflicts_ancestor_and_descendant():
+    # t conflicts with t.1 but t.0 does not conflict with t.1 (paper §2.1).
+    t = place(1)
+    t0 = place(1, 0)
+    t1 = place(1, 1)
+    assert t.conflicts_with(t1)
+    assert t1.conflicts_with(t)
+    assert not t0.conflicts_with(t1)
+
+
+def test_conflicts_with_deref_projections():
+    p = place(1, "*")
+    assert p.conflicts_with(place(1, "*", 0))
+    assert not place(1, "*", 0).conflicts_with(place(1, "*", 1))
+
+
+def test_place_projection_helpers():
+    base = Place.from_local(3)
+    projected = base.project_field(2).project_deref()
+    assert projected.projection[0].kind is ProjectionKind.FIELD
+    assert projected.projection[1].is_deref()
+    assert projected.has_deref()
+    assert not base.has_deref()
+    assert projected.base_local() == base
+
+
+def test_place_pretty_printing():
+    assert place(2, 0).pretty() == "_2.0"
+    assert place(1, "*").pretty() == "(*_1)"
+    assert place(1, "*", 1).pretty() == "(*_1).1"
+
+
+def test_location_ordering_and_pretty():
+    a = Location(0, 1)
+    b = Location(1, 0)
+    assert a < b
+    assert a.pretty() == "bb0[1]"
+
+
+# ---------------------------------------------------------------------------
+# Bodies
+# ---------------------------------------------------------------------------
+
+
+SOURCE = """
+struct Pair { a: u32, b: u32 }
+
+fn swap_add(p: &mut Pair, extra: u32) -> u32 {
+    let total = p.a + p.b + extra;
+    p.a = p.b;
+    total
+}
+"""
+
+
+def get_body():
+    _checked, lowered = lowered_from(SOURCE)
+    return lowered.body("swap_add")
+
+
+def test_body_locals_layout():
+    body = get_body()
+    assert body.locals[0].index == 0  # return place
+    assert body.arg_count == 2
+    assert [local.name for local in body.arg_locals()] == ["p", "extra"]
+    assert body.local_by_name("total") is not None
+    assert body.local_by_name("missing") is None
+
+
+def test_body_place_ty_walks_projections():
+    body = get_body()
+    p_local = body.local_by_name("p").index
+    p = Place.from_local(p_local)
+    assert isinstance(body.place_ty(p), RefType)
+    pointee = body.place_ty(p.project_deref())
+    assert isinstance(pointee, StructType)
+    field = body.place_ty(p.project_deref().project_field(0))
+    assert field == U32
+    assert body.place_ty(p.project_field(3)) is None
+
+
+def test_body_locations_cover_all_instructions():
+    body = get_body()
+    locations = list(body.locations())
+    assert len(locations) == body.num_instructions()
+    # The last location of each block is its terminator.
+    for block_index, block in enumerate(body.blocks):
+        term_loc = body.terminator_location(block_index)
+        assert term_loc.statement == len(block.statements)
+        assert body.statement_at(term_loc) is None
+
+
+def test_body_predecessors_and_returns():
+    body = get_body()
+    preds = body.predecessors()
+    assert set(preds.keys()) == set(range(len(body.blocks)))
+    return_blocks = body.return_blocks()
+    assert len(return_blocks) == 1
+    # Every block except the entry has at least one predecessor.
+    for block_index, block_preds in preds.items():
+        if block_index != 0:
+            assert block_preds
+
+
+def test_user_locals_have_names():
+    body = get_body()
+    names = {local.name for local in body.user_locals()}
+    assert {"p", "extra", "total"} <= names

@@ -1,0 +1,265 @@
+"""Tests for AST→MIR lowering."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.mir.ir import (
+    Aggregate,
+    CallTerminator,
+    Goto,
+    Place,
+    Ref,
+    Return,
+    StatementKind,
+    SwitchBool,
+    Use,
+)
+from repro.mir.lower import lower_function, lower_program
+from repro.mir.pretty import pretty_body
+from repro.mir.validate import assert_valid, validate_body
+
+from conftest import checked_from, lowered_from, GET_COUNT_SOURCE
+
+
+def body_for(source, fn_name):
+    checked = checked_from(source)
+    return lower_function(checked, fn_name)
+
+
+def statements_of(body):
+    out = []
+    for block in body.blocks:
+        out.extend(block.statements)
+    return out
+
+
+def terminators_of(body):
+    return [block.terminator for block in body.blocks]
+
+
+# ---------------------------------------------------------------------------
+# Basic shapes
+# ---------------------------------------------------------------------------
+
+
+def test_straightline_function_lowers_to_two_blocks():
+    body = body_for("fn f(a: u32, b: u32) -> u32 { a + b }", "f")
+    assert validate_body(body) == []
+    # One working block plus the shared return block.
+    assert sum(isinstance(t, Return) for t in terminators_of(body)) == 1
+    assert body.arg_count == 2
+
+
+def test_return_place_receives_tail_value():
+    body = body_for("fn f(a: u32) -> u32 { a }", "f")
+    assigns = [s for s in statements_of(body) if s.kind is StatementKind.ASSIGN]
+    assert any(s.place == Place.from_local(0) for s in assigns)
+
+
+def test_if_expression_lowered_to_switch_with_join():
+    body = body_for("fn f(c: bool) -> u32 { if c { 1 } else { 2 } }", "f")
+    switches = [t for t in terminators_of(body) if isinstance(t, SwitchBool)]
+    assert len(switches) == 1
+    assert validate_body(body) == []
+
+
+def test_while_loop_produces_back_edge():
+    body = body_for(
+        """
+        fn f(n: u32) -> u32 {
+            let mut i = 0;
+            while i < n { i = i + 1; }
+            i
+        }
+        """,
+        "f",
+    )
+    assert validate_body(body) == []
+    # There must be a block whose successor index is not greater than itself
+    # (the loop back edge).
+    has_back_edge = any(
+        successor <= index
+        for index, block in enumerate(body.blocks)
+        for successor in block.terminator.successors()
+    )
+    assert has_back_edge
+
+
+def test_break_jumps_to_loop_exit():
+    body = body_for(
+        """
+        fn f() -> u32 {
+            let mut i = 0;
+            while true {
+                if i == 3 { break; }
+                i = i + 1;
+            }
+            i
+        }
+        """,
+        "f",
+    )
+    assert validate_body(body) == []
+
+
+def test_call_becomes_terminator_with_destination():
+    body = body_for(
+        """
+        extern fn g(x: u32) -> u32;
+        fn f(a: u32) -> u32 { g(a) + 1 }
+        """,
+        "f",
+    )
+    calls = [t for t in terminators_of(body) if isinstance(t, CallTerminator)]
+    assert len(calls) == 1
+    assert calls[0].func == "g"
+    assert len(calls[0].args) == 1
+    assert validate_body(body) == []
+
+
+def test_nested_calls_produce_two_call_terminators():
+    body = body_for(
+        """
+        extern fn g(x: u32) -> u32;
+        fn f(a: u32) -> u32 { g(g(a)) }
+        """,
+        "f",
+    )
+    calls = [t for t in terminators_of(body) if isinstance(t, CallTerminator)]
+    assert len(calls) == 2
+
+
+def test_borrow_lowered_to_ref_rvalue():
+    body = body_for("fn f() { let mut x = 1; let r = &mut x; }", "f")
+    refs = [s.rvalue for s in statements_of(body) if isinstance(s.rvalue, Ref)]
+    assert len(refs) == 1
+    assert refs[0].referent == Place.from_local(body.local_by_name("x").index)
+
+
+def test_struct_literal_lowered_to_aggregate_in_field_order():
+    body = body_for(
+        """
+        struct Point { x: u32, y: u32 }
+        fn f(a: u32) -> Point { Point { y: a, x: 1 } }
+        """,
+        "f",
+    )
+    aggregates = [s.rvalue for s in statements_of(body) if isinstance(s.rvalue, Aggregate)]
+    assert len(aggregates) == 1
+    # Operands must follow declaration order (x first), not literal order.
+    first_operand = aggregates[0].ops[0]
+    assert first_operand.pretty(body) == "1"
+
+
+def test_tuple_expression_lowered_to_aggregate():
+    body = body_for("fn f(a: u32) -> (u32, u32) { (a, 2) }", "f")
+    aggregates = [s.rvalue for s in statements_of(body) if isinstance(s.rvalue, Aggregate)]
+    assert len(aggregates) == 1
+    assert len(aggregates[0].ops) == 2
+
+
+def test_field_access_through_reference_inserts_deref():
+    body = body_for(
+        """
+        struct S { v: u32 }
+        fn f(s: &mut S) -> u32 { s.v }
+        """,
+        "f",
+    )
+    reads = [
+        s.rvalue.operand.src
+        for s in statements_of(body)
+        if isinstance(s.rvalue, Use) and s.rvalue.operand.place() is not None
+    ]
+    assert any(p.has_deref() for p in reads)
+
+
+def test_assignment_through_deref_keeps_deref_projection():
+    body = body_for("fn f(p: &mut u32) { *p = 5; }", "f")
+    assigns = [s for s in statements_of(body) if s.kind is StatementKind.ASSIGN]
+    assert any(s.place.has_deref() for s in assigns)
+
+
+def test_early_return_assigns_return_place_and_is_pruned():
+    body = body_for(
+        """
+        fn f(x: u32) -> u32 {
+            if x == 0 { return 1; }
+            x + 2
+        }
+        """,
+        "f",
+    )
+    assert validate_body(body) == []
+    # All blocks must be reachable (unreachable blocks pruned).
+    reachable = {0}
+    stack = [0]
+    while stack:
+        index = stack.pop()
+        for successor in body.blocks[index].terminator.successors():
+            if successor not in reachable:
+                reachable.add(successor)
+                stack.append(successor)
+    assert reachable == set(range(len(body.blocks)))
+
+
+def test_shadowed_let_creates_second_local():
+    body = body_for("fn f() -> u32 { let x = 1; let x = 2; x }", "f")
+    named = [local for local in body.locals if local.name == "x"]
+    assert len(named) == 2
+
+
+def test_get_count_matches_figure1_shape():
+    checked = checked_from(GET_COUNT_SOURCE)
+    body = lower_function(checked, "get_count")
+    calls = [t.func for t in terminators_of(body) if isinstance(t, CallTerminator)]
+    assert sorted(calls) == ["contains_key", "get", "insert"]
+    switches = [t for t in terminators_of(body) if isinstance(t, SwitchBool)]
+    assert len(switches) == 1
+    assert validate_body(body) == []
+
+
+def test_lowering_extern_function_raises():
+    checked = checked_from("extern fn g(x: u32) -> u32;")
+    with pytest.raises(LoweringError):
+        lower_function(checked, "g")
+
+
+def test_lower_unknown_function_raises():
+    checked = checked_from("fn f() { }")
+    with pytest.raises(LoweringError):
+        lower_function(checked, "missing")
+
+
+def test_lower_program_lowers_all_crates():
+    checked, lowered = lowered_from(
+        """
+        crate deps { fn dep_helper() -> u32 { 1 } }
+        crate app { fn app_fn() -> u32 { dep_helper() } }
+        """
+    )
+    assert set(lowered.bodies) == {"dep_helper", "app_fn"}
+    assert lowered.body("dep_helper").crate == "deps"
+    assert [b.fn_name for b in lowered.bodies_in_crate("app")] == ["app_fn"]
+
+
+def test_pretty_body_renders_blocks_and_annotations():
+    body = body_for("fn f(a: u32) -> u32 { a + 1 }", "f")
+    from repro.mir.ir import Location
+
+    text = pretty_body(body, {Location(0, 0): "note"})
+    assert "bb0:" in text
+    assert "// note" in text
+    assert "fn f" in text
+
+
+def test_assert_valid_accepts_good_body():
+    body = body_for("fn f(a: u32) -> u32 { a }", "f")
+    assert_valid(body)
+
+
+def test_validator_catches_bad_block_target():
+    body = body_for("fn f(a: u32) -> u32 { a }", "f")
+    body.blocks[0].terminator = Goto(target=99)
+    problems = validate_body(body)
+    assert any("unknown block" in problem for problem in problems)

@@ -1,0 +1,257 @@
+"""Empirical noninterference tests (Theorem 3.1).
+
+The theorem states: if two stacks agree on the places whose dependencies are
+contained in an expression's dependency set κ, then evaluating the expression
+under either stack yields the same value (and the same final values for every
+place whose Θ′ entry is contained in the initial agreement).
+
+We cannot mechanise the proof, so we test it: generate programs (both a fixed
+set of tricky ones and random ones via hypothesis), compute κ for the return
+value with the AST-level analysis of Section 2, and check that varying only
+the parameters *outside* κ never changes the function's result.  Any
+counterexample would be a soundness bug in the analysis.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.oxide import analyze_function_oxide
+from repro.lang.interp import Interpreter, VBool, VInt
+from repro.lang.typeck import CheckedProgram
+
+from conftest import checked_from
+
+
+def run_twice_varying(
+    checked: CheckedProgram,
+    fn_name: str,
+    base_args: dict,
+    varied: dict,
+):
+    """Run ``fn_name`` with ``base_args`` and with ``varied`` overrides."""
+    interp1 = Interpreter(checked)
+    interp2 = Interpreter(checked)
+    decl = checked.program.function(fn_name)
+    order = [p.name for p in decl.params]
+    args1 = [base_args[name] for name in order]
+    args2 = [dict(base_args, **varied)[name] for name in order]
+    return interp1.call_function(fn_name, args1), interp2.call_function(fn_name, args2)
+
+
+def assert_noninterference(source: str, fn_name: str, base_args: dict, trials: int = 8):
+    """Check Theorem 3.1(a) on concrete runs: varying parameters that are NOT
+    in the return value's dependency set never changes the result."""
+    checked = checked_from(source)
+    flow = analyze_function_oxide(checked, fn_name)
+    relevant = flow.params_in_deps(flow.return_deps)
+    irrelevant = [name for name in base_args if name not in relevant]
+    rng = random.Random(1234)
+
+    baseline, _ = run_twice_varying(checked, fn_name, base_args, {})
+    for _ in range(trials):
+        varied = {}
+        for name in irrelevant:
+            value = base_args[name]
+            if isinstance(value, VInt):
+                varied[name] = VInt(rng.randrange(0, 50))
+            elif isinstance(value, VBool):
+                varied[name] = VBool(rng.random() < 0.5)
+        if not varied:
+            return
+        result1, result2 = run_twice_varying(checked, fn_name, base_args, varied)
+        assert result1 == baseline
+        assert result2 == baseline, (
+            f"noninterference violated: varying {sorted(varied)} (not in κ) "
+            f"changed the result from {baseline} to {result2}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Hand-written adversarial cases
+# ---------------------------------------------------------------------------
+
+
+def test_unused_parameter_cannot_influence_result():
+    assert_noninterference(
+        "fn f(a: u32, b: u32) -> u32 { a * 3 }",
+        "f",
+        {"a": VInt(4), "b": VInt(9)},
+    )
+
+
+def test_field_sensitive_independence():
+    assert_noninterference(
+        """
+        fn f(a: u32, b: u32) -> u32 {
+            let mut t = (a, 0);
+            t.1 = b;
+            t.0
+        }
+        """,
+        "f",
+        {"a": VInt(5), "b": VInt(11)},
+    )
+
+
+def test_reference_mutation_independence():
+    assert_noninterference(
+        """
+        fn f(a: u32, b: u32) -> u32 {
+            let mut x = (0, 0);
+            let r = &mut x.0;
+            *r = a;
+            x.1 + 1
+        }
+        """,
+        "f",
+        {"a": VInt(5), "b": VInt(3)},
+    )
+
+
+def test_branch_on_relevant_data_only():
+    assert_noninterference(
+        """
+        fn f(c: bool, v: u32, noise: u32) -> u32 {
+            let mut x = 0;
+            if c {
+                x = v;
+            }
+            x
+        }
+        """,
+        "f",
+        {"c": VBool(True), "v": VInt(7), "noise": VInt(100)},
+    )
+
+
+def test_call_to_pure_helper_independence():
+    assert_noninterference(
+        """
+        fn double(x: u32) -> u32 { x * 2 }
+        fn f(a: u32, b: u32) -> u32 {
+            let unused = double(b);
+            a + 1
+        }
+        """,
+        "f",
+        {"a": VInt(2), "b": VInt(30)},
+    )
+
+
+def test_loop_independence():
+    assert_noninterference(
+        """
+        fn f(n: u32, seed: u32, noise: u32) -> u32 {
+            let mut acc = seed;
+            let mut i = 0;
+            while i < n % 8 {
+                acc = acc + i;
+                i = i + 1;
+            }
+            acc
+        }
+        """,
+        "f",
+        {"n": VInt(5), "seed": VInt(2), "noise": VInt(77)},
+    )
+
+
+def test_mutation_through_callee_independence():
+    assert_noninterference(
+        """
+        fn bump(x: &mut u32, by: u32) { *x = *x + by; }
+        fn f(a: u32, by: u32, noise: u32) -> u32 {
+            let mut x = a;
+            bump(&mut x, by);
+            x
+        }
+        """,
+        "f",
+        {"a": VInt(1), "by": VInt(2), "noise": VInt(3)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1(b): final stack values of mutated references
+# ---------------------------------------------------------------------------
+
+
+def test_final_value_of_mutable_argument_respects_deps():
+    source = """
+    fn write_first(dst: &mut (u32, u32), v: u32, noise: u32) {
+        dst.0 = v;
+    }
+    """
+    checked = checked_from(source)
+    flow = analyze_function_oxide(checked, "write_first")
+    # The final value of *dst must not depend on `noise`.
+    dst_deps = flow.theta.read_conflicts(("*dst", ()))
+    assert flow.param_labels["noise"] not in dst_deps
+
+    from repro.lang.interp import VTuple
+
+    def run(noise):
+        interp = Interpreter(checked)
+        frame = interp.stack.push("caller")
+        frame.slots["buffer"] = VTuple([VInt(0), VInt(0)])
+        from repro.lang.interp import VRef
+
+        interp.call_function(
+            "write_first",
+            [VRef(frame.frame_id, "buffer", (), True), VInt(9), VInt(noise)],
+        )
+        return frame.slots["buffer"]
+
+    assert run(1) == run(42)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random straight-line programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def straightline_program(draw):
+    """Generate a small well-typed function over u32 parameters a, b, c."""
+    params = ["a", "b", "c"]
+    lines = []
+    available = list(params)
+    n_lines = draw(st.integers(min_value=1, max_value=6))
+    for index in range(n_lines):
+        kind = draw(st.sampled_from(["arith", "branch", "tuple"]))
+        new_var = f"v{index}"
+        x = draw(st.sampled_from(available))
+        y = draw(st.sampled_from(available))
+        if kind == "arith":
+            op = draw(st.sampled_from(["+", "*", "-"]))
+            lines.append(f"    let {new_var} = {x} {op} {y};")
+        elif kind == "branch":
+            threshold = draw(st.integers(min_value=0, max_value=20))
+            lines.append(
+                f"    let {new_var} = if {x} > {threshold} {{ {y} }} else {{ {x} + 1 }};"
+            )
+        else:
+            lines.append(f"    let {new_var} = ({x}, {y}).0;")
+        available.append(new_var)
+    result = draw(st.sampled_from(available))
+    body = "\n".join(lines)
+    source = f"fn f(a: u32, b: u32, c: u32) -> u32 {{\n{body}\n    {result}\n}}"
+    return source
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    source=straightline_program(),
+    values=st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    ),
+)
+def test_noninterference_on_random_programs(source, values):
+    base_args = {"a": VInt(values[0]), "b": VInt(values[1]), "c": VInt(values[2])}
+    assert_noninterference(source, "f", base_args, trials=4)

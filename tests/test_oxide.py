@@ -1,0 +1,221 @@
+"""Tests for the AST-level (Section 2) information flow judgment."""
+
+import pytest
+
+from repro.core.oxide import OxideFlowAnalysis, analyze_function_oxide, place_conflicts
+from repro.errors import AnalysisError
+
+from conftest import checked_from
+
+
+def analyze(source, fn_name="f"):
+    return analyze_function_oxide(checked_from(source), fn_name)
+
+
+def test_place_conflicts_relation():
+    assert place_conflicts(("x", ()), ("x", (1,)))
+    assert place_conflicts(("x", (1,)), ("x", ()))
+    assert not place_conflicts(("x", (0,)), ("x", (1,)))
+    assert not place_conflicts(("x", ()), ("y", ()))
+
+
+def test_constant_return_has_no_param_deps():
+    result = analyze("fn f(a: u32) -> u32 { 42 }")
+    assert result.params_in_deps(result.return_deps) == set()
+
+
+def test_return_depends_on_read_parameter():
+    result = analyze("fn f(a: u32, b: u32) -> u32 { a + 1 }")
+    assert result.return_depends_on("a")
+    assert not result.return_depends_on("b")
+
+
+def test_let_binding_propagates_dependencies():
+    result = analyze("fn f(a: u32) -> u32 { let x = a * 2; x + 1 }")
+    assert result.return_depends_on("a")
+
+
+def test_tuple_field_assignment_is_field_sensitive():
+    # The §2.1 example: after `t.1 := b`, t.0 does not depend on b.
+    result = analyze(
+        """
+        fn f(a: u32, b: u32) -> u32 {
+            let mut t = (a, a);
+            t.1 = b;
+            t.0
+        }
+        """
+    )
+    assert result.return_depends_on("a")
+    assert not result.return_depends_on("b")
+
+
+def test_assignment_updates_root_but_not_sibling():
+    result = analyze(
+        """
+        fn f(a: u32, b: u32) -> (u32, u32) {
+            let mut t = (a, a);
+            t.1 = b;
+            t
+        }
+        """
+    )
+    # Reading the whole tuple sees both fields.
+    assert result.return_depends_on("a")
+    assert result.return_depends_on("b")
+
+
+def test_mutation_through_reference_reaches_target():
+    # The §2.2 reborrowing example.
+    result = analyze(
+        """
+        fn f(a: u32) -> u32 {
+            let mut x = (0, 0);
+            let y = &mut x;
+            let z = &mut y.1;
+            *z = a;
+            x.1
+        }
+        """
+    )
+    assert result.return_depends_on("a")
+
+
+def test_mutation_through_reference_is_field_sensitive():
+    result = analyze(
+        """
+        fn f(a: u32) -> u32 {
+            let mut x = (0, 0);
+            let y = &mut x;
+            let z = &mut y.1;
+            *z = a;
+            x.0
+        }
+        """
+    )
+    assert not result.return_depends_on("a")
+
+
+def test_branch_adds_condition_to_mutated_places():
+    result = analyze(
+        """
+        fn f(c: bool, v: u32) -> u32 {
+            let mut x = 0;
+            if c {
+                x = v;
+            }
+            x
+        }
+        """
+    )
+    assert result.return_depends_on("c")
+    assert result.return_depends_on("v")
+
+
+def test_branch_condition_not_added_to_untouched_places():
+    result = analyze(
+        """
+        fn f(c: bool, v: u32) -> u32 {
+            let mut x = v;
+            let mut y = 0;
+            if c {
+                y = 1;
+            }
+            x
+        }
+        """
+    )
+    assert not result.return_depends_on("c")
+
+
+def test_while_loop_reaches_fixpoint_and_tracks_condition():
+    result = analyze(
+        """
+        fn f(n: u32, seed: u32) -> u32 {
+            let mut acc = seed;
+            let mut i = 0;
+            while i < n {
+                acc = acc + i;
+                i = i + 1;
+            }
+            acc
+        }
+        """
+    )
+    assert result.return_depends_on("n")
+    assert result.return_depends_on("seed")
+
+
+def test_call_modular_rule_mutates_mut_ref_args():
+    result = analyze(
+        """
+        extern fn store(dst: &mut u32, value: u32);
+        fn f(a: u32, b: u32) -> u32 {
+            let mut x = a;
+            store(&mut x, b);
+            x
+        }
+        """
+    )
+    assert result.return_depends_on("a")
+    assert result.return_depends_on("b")
+
+
+def test_call_does_not_mutate_shared_ref_args():
+    result = analyze(
+        """
+        extern fn peek(src: &u32) -> u32;
+        fn f(a: u32, b: u32) -> u32 {
+            let x = a;
+            peek(&x);
+            x
+        }
+        """
+    )
+    assert result.return_depends_on("a")
+    assert not result.return_depends_on("b")
+
+
+def test_call_return_depends_on_all_readable_args():
+    result = analyze(
+        """
+        extern fn mix(a: &u32, b: u32) -> u32;
+        fn f(p: u32, q: u32) -> u32 { mix(&p, q) }
+        """
+    )
+    assert result.return_depends_on("p")
+    assert result.return_depends_on("q")
+
+
+def test_early_return_contributes_to_return_deps():
+    result = analyze(
+        """
+        fn f(a: u32, b: u32) -> u32 {
+            if a == 0 { return b; }
+            a
+        }
+        """
+    )
+    assert result.return_depends_on("a")
+    assert result.return_depends_on("b")
+
+
+def test_final_deps_of_variable():
+    result = analyze(
+        """
+        fn f(a: u32, b: u32) -> u32 {
+            let mut x = a;
+            x = x + b;
+            x
+        }
+        """
+    )
+    x_deps = result.final_deps_of("x")
+    assert result.param_labels["a"] in x_deps
+    assert result.param_labels["b"] in x_deps
+
+
+def test_analyzing_extern_function_raises():
+    checked = checked_from("extern fn g(x: u32) -> u32;")
+    with pytest.raises(AnalysisError):
+        OxideFlowAnalysis(checked, "g")

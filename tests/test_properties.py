@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Three groups:
+
+* algebraic laws of the place/conflict relation (Section 2.1),
+* join-semilattice laws of the dependency context Θ (needed for the dataflow
+  fixpoint to be well-defined),
+* cross-condition invariants of the analysis itself on randomly generated
+  programs: determinism, and the precision ordering
+  ``Whole-program ⊆ Modular ⊆ Mut-blind`` on every variable's dependency set.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import AnalysisConfig
+from repro.core.engine import FlowEngine
+from repro.core.theta import DependencyContext, ThetaLattice
+from repro.mir.ir import Location, Place, PlaceElem
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def places(max_local=3, max_depth=3):
+    elem = st.one_of(
+        st.builds(PlaceElem.fld, st.integers(min_value=0, max_value=2)),
+        st.just(PlaceElem.deref()),
+    )
+    return st.builds(
+        Place,
+        st.integers(min_value=0, max_value=max_local),
+        st.lists(elem, max_size=max_depth).map(tuple),
+    )
+
+
+def locations():
+    return st.builds(
+        Location,
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+
+
+def dependency_contexts():
+    return st.dictionaries(
+        places(), st.frozensets(locations(), max_size=4), max_size=6
+    ).map(lambda d: DependencyContext(dict(d)))
+
+
+# ---------------------------------------------------------------------------
+# Conflict relation laws
+# ---------------------------------------------------------------------------
+
+
+@given(places())
+def test_conflict_is_reflexive(place):
+    assert place.conflicts_with(place)
+
+
+@given(places(), places())
+def test_conflict_is_symmetric(a, b):
+    assert a.conflicts_with(b) == b.conflicts_with(a)
+
+
+@given(places(), places())
+def test_prefix_implies_conflict(a, b):
+    if a.is_prefix_of(b):
+        assert a.conflicts_with(b)
+
+
+@given(places(), places())
+def test_different_locals_never_conflict(a, b):
+    if a.local != b.local:
+        assert not a.conflicts_with(b)
+        assert not a.is_prefix_of(b)
+
+
+@given(places(), st.integers(min_value=0, max_value=3))
+def test_projection_extends_prefix(place, index):
+    extended = place.project_field(index)
+    assert place.is_prefix_of(extended)
+    assert extended.conflicts_with(place)
+    assert extended.base_local() == Place.from_local(place.local)
+
+
+# ---------------------------------------------------------------------------
+# Θ join-semilattice laws
+# ---------------------------------------------------------------------------
+
+
+@given(dependency_contexts(), dependency_contexts())
+def test_join_is_commutative(a, b):
+    lattice = ThetaLattice()
+    assert lattice.equals(lattice.join(a, b), lattice.join(b, a))
+
+
+@given(dependency_contexts(), dependency_contexts(), dependency_contexts())
+def test_join_is_associative(a, b, c):
+    lattice = ThetaLattice()
+    left = lattice.join(lattice.join(a, b), c)
+    right = lattice.join(a, lattice.join(b, c))
+    assert lattice.equals(left, right)
+
+
+@given(dependency_contexts())
+def test_join_is_idempotent_with_bottom_identity(a):
+    lattice = ThetaLattice()
+    assert lattice.equals(lattice.join(a, a), a)
+    assert lattice.equals(lattice.join(a, lattice.bottom()), a)
+
+
+@given(dependency_contexts(), dependency_contexts())
+def test_join_is_an_upper_bound(a, b):
+    joined = a.join(b)
+    for place, deps in a.items():
+        assert deps <= joined.get(place)
+    for place, deps in b.items():
+        assert deps <= joined.get(place)
+
+
+@given(dependency_contexts(), places(), st.frozensets(locations(), max_size=3))
+def test_weak_write_only_grows_the_context(theta, place, new_deps):
+    before = theta.copy()
+    theta.write_weak(place, new_deps)
+    for tracked, deps in before.items():
+        assert deps <= theta.get(tracked)
+    assert new_deps <= theta.get(place)
+
+
+@given(dependency_contexts(), places())
+def test_read_conflicts_subset_of_all_locations(theta, place):
+    everything = set()
+    for _tracked, deps in theta.items():
+        everything |= deps
+    assert set(theta.read_conflicts(place)) <= everything
+
+
+# ---------------------------------------------------------------------------
+# Analysis invariants on generated programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_programs(draw):
+    """Generate a caller + two helpers exercising calls, branches, and refs."""
+    mutates = draw(st.booleans())
+    uses_y = draw(st.booleans())
+    branch_threshold = draw(st.integers(min_value=0, max_value=9))
+    extra_call = draw(st.booleans())
+
+    helper_body = []
+    if mutates:
+        helper_body.append("    *x = *x + y;")
+    result = "y + 1" if uses_y else "*x"
+    helper = "fn helper(x: &mut u32, y: u32) -> u32 {\n" + "\n".join(helper_body) + f"\n    {result}\n}}"
+
+    caller_lines = [
+        "fn caller(a: u32, b: u32, c: u32) -> u32 {",
+        "    let mut x = a;",
+        "    let mut acc = 0;",
+        f"    if c > {branch_threshold} {{",
+        "        acc = helper(&mut x, b);",
+        "    }",
+    ]
+    if extra_call:
+        caller_lines.append("    acc = acc + peek(&x);")
+    caller_lines.append("    x + acc")
+    caller_lines.append("}")
+
+    source = "extern fn peek(v: &u32) -> u32;\n" + helper + "\n" + "\n".join(caller_lines)
+    return source
+
+
+def sizes_under(source, config):
+    engine = FlowEngine.from_source(source, config=config)
+    return engine.analyze_function("caller").dependency_sizes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=small_programs())
+def test_analysis_is_deterministic(source):
+    first = sizes_under(source, AnalysisConfig())
+    second = sizes_under(source, AnalysisConfig())
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=small_programs())
+def test_whole_program_is_at_least_as_precise_as_modular(source):
+    modular = sizes_under(source, AnalysisConfig())
+    whole = sizes_under(source, AnalysisConfig(whole_program=True))
+    for variable, size in whole.items():
+        assert size <= modular[variable], variable
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=small_programs())
+def test_mut_blind_is_never_more_precise_than_modular(source):
+    modular = sizes_under(source, AnalysisConfig())
+    blind = sizes_under(source, AnalysisConfig(mut_blind=True))
+    for variable, size in modular.items():
+        assert blind[variable] >= size, variable
+
+
+@settings(max_examples=15, deadline=None)
+@given(source=small_programs())
+def test_disabling_strong_updates_is_never_more_precise(source):
+    strong = sizes_under(source, AnalysisConfig())
+    additive = sizes_under(source, AnalysisConfig(strong_updates=False))
+    for variable, size in strong.items():
+        assert additive[variable] >= size, variable

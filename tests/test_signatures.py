@@ -1,0 +1,132 @@
+"""Tests for signature summaries (the modular analysis's only view of callees)."""
+
+from repro.lang.types import Mutability
+from repro.borrowck.signatures import summarize_signature
+
+from conftest import checked_from
+
+
+def signature_of(source, name):
+    return checked_from(source).signature(name)
+
+
+def summary_of(source, name):
+    return summarize_signature(signature_of(source, name))
+
+
+def test_scalar_params_have_no_refs():
+    summary = summary_of("extern fn f(a: u32, b: bool);", "f")
+    assert summary.all_refs_of_param(0) == []
+    assert summary.all_refs_of_param(1) == []
+    assert summary.mutated_param_indices() == []
+
+
+def test_mutable_reference_param_is_mutable():
+    summary = summary_of("extern fn f(a: &mut u32, b: &u32);", "f")
+    assert summary.param_may_be_mutated(0)
+    assert not summary.param_may_be_mutated(1)
+    assert summary.mutated_param_indices() == [0]
+
+
+def test_refs_nested_in_tuples_are_found_with_paths():
+    summary = summary_of("extern fn f(pair: (&mut u32, &u32));", "f")
+    refs = summary.all_refs_of_param(0)
+    assert len(refs) == 2
+    paths = {info.path: info.mutability for info in refs}
+    assert paths[(0,)] is Mutability.MUT
+    assert paths[(1,)] is Mutability.SHARED
+    assert [info.path for info in summary.mutable_refs_of_param(0)] == [(0,)]
+
+
+def test_refs_nested_in_structs_are_found():
+    summary = summary_of(
+        """
+        struct Holder { data: &'a mut u32, tag: u32 }
+        extern fn f<'a>(h: Holder);
+        """,
+        "f",
+    )
+    refs = summary.all_refs_of_param(0)
+    assert len(refs) == 1
+    assert refs[0].path == (0,)
+    assert refs[0].is_mutable()
+
+
+def test_opaque_struct_params_are_not_traversed():
+    summary = summary_of(
+        """
+        struct Vec;
+        extern fn f(v: Vec);
+        """,
+        "f",
+    )
+    assert summary.all_refs_of_param(0) == []
+
+
+def test_return_without_refs_has_no_tied_params():
+    summary = summary_of("extern fn f(a: &u32) -> u32;", "f")
+    assert not summary.return_contains_ref()
+    assert summary.return_alias_params() == set()
+
+
+def test_return_tied_to_single_elided_input():
+    # Elision: the single input lifetime flows to the output (Vec::iter style).
+    summary = summary_of(
+        """
+        struct Vec;
+        struct Iter;
+        extern fn iter(v: &Vec) -> &Vec;
+        """,
+        "iter",
+    )
+    assert summary.return_contains_ref()
+    assert summary.return_alias_params() == {0}
+
+
+def test_return_tied_only_to_matching_explicit_lifetime():
+    summary = summary_of(
+        "extern fn pick<'a, 'b>(a: &'a u32, b: &'b u32, n: u32) -> &'a u32;", "pick"
+    )
+    assert summary.return_alias_params() == {0}
+
+
+def test_return_with_unmatched_lifetime_ties_to_all_ref_params():
+    # No lifetime in common: the conservative fallback ties the return to
+    # every reference-carrying parameter (but not the scalar).
+    summary = summary_of(
+        "extern fn merge(a: &u32, b: &mut u32, n: u32) -> &u32;", "merge"
+    )
+    assert summary.return_alias_params() == {0, 1}
+
+
+def test_get_mut_style_signature():
+    # fn get_mut<'a>(&'a mut self, i: usize) -> &'a mut T  (Section 8 example)
+    summary = summary_of(
+        """
+        struct Vec;
+        extern fn get_mut<'a>(v: &'a mut Vec, i: u32) -> &'a mut u32;
+        """,
+        "get_mut",
+    )
+    assert summary.param_may_be_mutated(0)
+    assert not summary.param_may_be_mutated(1)
+    assert summary.return_alias_params() == {0}
+
+
+def test_readable_params_lists_all():
+    summary = summary_of("extern fn f(a: &u32, b: u32);", "f")
+    assert summary.readable_param_indices() == [0, 1]
+
+
+def test_push_and_iter_signatures_from_paper_intro():
+    # fn push(&mut self, value: i32) / fn iter<'a>(&'a self) -> Iter<'a, i32>
+    source = """
+    struct Vec;
+    struct Iter { ptr: &'a u32 }
+    extern fn push(v: &mut Vec, value: u32);
+    extern fn iter<'a>(v: &'a Vec) -> Iter;
+    """
+    push = summary_of(source, "push")
+    assert push.mutated_param_indices() == [0]
+    iter_summary = summary_of(source, "iter")
+    assert not iter_summary.param_may_be_mutated(0)

@@ -1,0 +1,133 @@
+"""Tests for the MiniRust type representations."""
+
+from repro.lang.types import (
+    BOOL,
+    FnType,
+    Mutability,
+    RefType,
+    StructRegistry,
+    StructType,
+    TupleType,
+    U32,
+    UNIT,
+    num_fields,
+    peel_refs,
+    projection_type,
+    ref,
+    ref_depth,
+    tuple_of,
+    types_compatible,
+)
+
+
+def test_base_types_are_copy():
+    assert UNIT.is_copy()
+    assert U32.is_copy()
+    assert BOOL.is_copy()
+
+
+def test_shared_ref_is_copy_mut_ref_is_not():
+    assert ref(U32, mutable=False).is_copy()
+    assert not ref(U32, mutable=True).is_copy()
+
+
+def test_tuple_copy_depends_on_elements():
+    assert tuple_of(U32, BOOL).is_copy()
+    assert not tuple_of(U32, ref(U32, mutable=True)).is_copy()
+
+
+def test_reference_equality_erases_lifetimes():
+    a = RefType(U32, Mutability.SHARED, "a")
+    b = RefType(U32, Mutability.SHARED, "b")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_reference_equality_distinguishes_mutability():
+    assert RefType(U32, Mutability.SHARED) != RefType(U32, Mutability.MUT)
+
+
+def test_struct_equality_is_nominal():
+    a = StructType("Point", (("x", U32),))
+    b = StructType("Point", (("x", U32), ("y", U32)))
+    c = StructType("Other", (("x", U32),))
+    assert a == b
+    assert a != c
+
+
+def test_lifetimes_collects_all_names():
+    ty = tuple_of(RefType(U32, Mutability.SHARED, "a"), RefType(BOOL, Mutability.MUT, "b"))
+    assert set(ty.lifetimes()) == {"a", "b"}
+
+
+def test_contains_ref_with_mutability_filter():
+    ty = tuple_of(RefType(U32, Mutability.SHARED, "a"), U32)
+    assert ty.contains_ref()
+    assert ty.contains_ref(Mutability.SHARED)
+    assert not ty.contains_ref(Mutability.MUT)
+
+
+def test_nested_ref_contains_mutable():
+    inner = RefType(U32, Mutability.MUT)
+    outer = RefType(inner, Mutability.SHARED)
+    assert outer.contains_ref(Mutability.MUT)
+
+
+def test_peel_refs_and_depth():
+    ty = RefType(RefType(U32, Mutability.SHARED), Mutability.MUT)
+    assert peel_refs(ty) == U32
+    assert ref_depth(ty) == 2
+    assert ref_depth(U32) == 0
+
+
+def test_types_compatible_mut_coerces_to_shared():
+    assert types_compatible(ref(U32), ref(U32, mutable=True))
+    assert not types_compatible(ref(U32, mutable=True), ref(U32))
+
+
+def test_types_compatible_tuples_recursive():
+    expected = tuple_of(U32, ref(U32))
+    actual = tuple_of(U32, ref(U32, mutable=True))
+    assert types_compatible(expected, actual)
+    assert not types_compatible(expected, tuple_of(U32, U32))
+
+
+def test_projection_type_for_tuple_and_struct():
+    tup = tuple_of(U32, BOOL)
+    assert projection_type(tup, 1) == BOOL
+    assert projection_type(tup, 2) is None
+    struct = StructType("S", (("a", U32), ("b", BOOL)))
+    assert projection_type(struct, 0) == U32
+    assert num_fields(struct) == 2
+    assert num_fields(U32) == 0
+
+
+def test_struct_registry_resolves_nested_types():
+    registry = StructRegistry()
+    inner = StructType("Inner", (("v", U32),))
+    registry.define(inner)
+    # Field types are resolved against the registry when the struct is built,
+    # mirroring what the type checker's collection passes do.
+    registry.define(StructType("Outer", (("i", registry.resolve(StructType("Inner"))),)))
+    resolved = registry.resolve(RefType(StructType("Outer"), Mutability.MUT))
+    assert isinstance(resolved, RefType)
+    assert resolved.pointee.field_type("i").fields == inner.fields
+
+
+def test_struct_registry_field_lookup():
+    struct = StructType("Pair", (("left", U32), ("right", BOOL)))
+    assert struct.field_index("right") == 1
+    assert struct.field_index("missing") is None
+    assert struct.field_names() == ["left", "right"]
+
+
+def test_fn_type_pretty():
+    fn_ty = FnType((U32, BOOL), UNIT)
+    assert fn_ty.pretty() == "fn(u32, bool) -> ()"
+
+
+def test_pretty_printing_round_trip_strings():
+    assert ref(U32, mutable=True).pretty() == "&mut u32"
+    assert RefType(U32, Mutability.SHARED, "a").pretty() == "&'a u32"
+    assert tuple_of(U32, BOOL).pretty() == "(u32, bool)"
+    assert tuple_of(U32).pretty() == "(u32,)"
