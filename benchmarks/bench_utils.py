@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Kept out of ``conftest.py`` so benchmark modules can import them explicitly
+(``from bench_utils import write_report``) without relying on the ambiguous
+``import conftest`` resolution that broke test collection when both
+``tests/`` and ``benchmarks/`` were on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def bench_scale() -> float:
+    """Corpus scale factor, adjustable via ``REPRO_BENCH_SCALE`` (default 0.35)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+def write_report(report_dir: Path, name: str, text: str) -> Path:
+    """Persist a rendered table/figure and echo it to stdout."""
+    path = report_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[report written to {path}]")
+    return path

@@ -7,25 +7,20 @@ a run (EXPERIMENTS.md summarises paper-vs-measured from these files).
 
 The corpus scale can be adjusted with the ``REPRO_BENCH_SCALE`` environment
 variable (default 0.35 ≈ a few thousand analysed variables, which keeps the
-full benchmark suite in the minutes range on a laptop).
+full benchmark suite in the minutes range on a laptop).  The reusable
+helpers (``write_report``, ``bench_scale``) live in ``bench_utils.py``.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from bench_utils import REPORT_DIR, bench_scale
+
 from repro.eval.corpus import generate_corpus
 from repro.eval.experiments import primary_experiment_conditions, run_conditions
-
-
-REPORT_DIR = Path(__file__).parent / "reports"
-
-
-def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 
 
 @pytest.fixture(scope="session")
@@ -44,11 +39,3 @@ def experiment(corpus):
 def report_dir() -> Path:
     REPORT_DIR.mkdir(parents=True, exist_ok=True)
     return REPORT_DIR
-
-
-def write_report(report_dir: Path, name: str, text: str) -> Path:
-    """Persist a rendered table/figure and echo it to stdout."""
-    path = report_dir / f"{name}.txt"
-    path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[report written to {path}]")
-    return path

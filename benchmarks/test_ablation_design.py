@@ -14,7 +14,7 @@ library can see what each mechanism buys.
 
 import pytest
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import AnalysisConfig
 from repro.core.engine import FlowEngine

@@ -8,7 +8,7 @@ the study over the synthetic corpus, where dependency-crate externs play the
 role of pre-compiled crates.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.eval.experiments import crate_boundary_study
 from repro.eval.report import render_boundary_study

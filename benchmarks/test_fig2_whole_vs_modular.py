@@ -8,7 +8,7 @@ distribution.  Exact percentages differ because the corpus functions are ~10×
 smaller than the paper's crates; EXPERIMENTS.md records the measured values.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import MODULAR, WHOLE_PROGRAM
 from repro.eval.report import render_figure2

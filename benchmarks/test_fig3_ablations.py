@@ -9,7 +9,7 @@ between Modular and Whole-program.  The reproduced shape claims checked here:
 * neither ablation is ever *more* precise than Modular on any variable.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import MODULAR, MUT_BLIND, REF_BLIND, WHOLE_PROGRAM
 from repro.eval.report import render_figure3

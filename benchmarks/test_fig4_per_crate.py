@@ -7,7 +7,7 @@ than image at similar size).  This benchmark reproduces the per-crate counts
 and the correlation.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import MODULAR, MUT_BLIND
 from repro.eval.report import render_figure4

@@ -8,7 +8,7 @@ flow) and measures the cost of running each tool, since "fast enough to run
 interactively in an IDE" is the implicit claim of the figure.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.apps.ifc import IfcChecker, IfcPolicy
 from repro.apps.slicer import ProgramSlicer

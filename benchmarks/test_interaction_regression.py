@@ -8,7 +8,7 @@ same regression over the 2×2 (mut_blind, ref_blind) grid measured on the
 corpus.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import AnalysisConfig, MODULAR, MUT_BLIND, REF_BLIND
 from repro.eval.stats import interaction_regression

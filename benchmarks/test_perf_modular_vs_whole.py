@@ -8,7 +8,7 @@ each condition, and a super-linear slowdown of Whole-program on a deep
 synthetic call graph.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.core.config import MODULAR, WHOLE_PROGRAM
 from repro.core.engine import FlowEngine

@@ -6,7 +6,7 @@ regenerates the same rows over the synthetic corpus and measures the cost of
 the front-end pipeline (parse + type check + lower) that produces them.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.eval.corpus import PAPER_CRATE_SPECS, generate_crate
 from repro.eval.metrics import collect_metrics, dataset_table

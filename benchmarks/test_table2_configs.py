@@ -7,7 +7,7 @@ renders that table and checks the generation is deterministic (same seed ⇒
 byte-identical source), which is the property Table 2 exists to guarantee.
 """
 
-from conftest import write_report
+from bench_utils import write_report
 
 from repro.eval.corpus import PAPER_CRATE_SPECS, generate_crate_source
 from repro.eval.report import render_table2

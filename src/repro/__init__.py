@@ -36,6 +36,9 @@ Package map:
   contribution) plus the evaluation conditions.
 * :mod:`repro.apps` — the program slicer and IFC checker of Figure 5.
 * :mod:`repro.eval` — corpus generation, experiments, statistics, reports.
+* :mod:`repro.service` — the incremental analysis service: content-addressed
+  summary cache, call-graph invalidation, batch scheduler, and the
+  line-delimited JSON protocol behind ``repro serve``.
 """
 
 from repro.core.analysis import FunctionFlowResult, analyze_body
@@ -49,7 +52,7 @@ from repro.lang.typeck import check_program
 from repro.mir.lower import lower_program
 from repro.mir.pretty import pretty_body
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisConfig",

@@ -109,9 +109,13 @@ class IfcChecker:
         source: str,
         policy: IfcPolicy,
         config: Optional[AnalysisConfig] = None,
+        engine: Optional[FlowEngine] = None,
     ):
         self.policy = policy
-        self.engine = FlowEngine.from_source(source, config=config)
+        # A caller that already holds a checked+lowered program (the analysis
+        # service's session) passes its engine; otherwise the checker runs
+        # the front end itself.
+        self.engine = engine if engine is not None else FlowEngine.from_source(source, config=config)
 
     # -- secret seeds ---------------------------------------------------------------
 

@@ -15,13 +15,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.config import AnalysisConfig
 from repro.core.engine import FlowEngine
 from repro.core.analysis import FunctionFlowResult
 from repro.errors import AnalysisError
-from repro.mir.ir import Location, Place
+from repro.mir.ir import Body, Location, Place
+
+
+def lines_of_locations(body: Body, locations: Iterable[Location]) -> FrozenSet[int]:
+    """Source lines covered by ``locations`` of ``body``.
+
+    Shared by the slicer and the analysis service so both render slices
+    identically; synthetic locations (negative blocks) have no source span.
+    """
+    lines: Set[int] = set()
+    for location in locations:
+        if location.block < 0:
+            continue
+        instruction = body.instruction_at(location)
+        span = getattr(instruction, "span", None)
+        if span is not None and not span.is_dummy():
+            for line in range(span.start_line, span.end_line + 1):
+                lines.add(line)
+    return frozenset(lines)
+
+
+def forward_slice_locations(result: FunctionFlowResult, variable: str) -> FrozenSet[Location]:
+    """Union of forward slices from every instruction that writes ``variable``."""
+    local = result.body.local_by_name(variable)
+    if local is None:
+        raise AnalysisError(
+            f"function {result.body.fn_name!r} has no variable {variable!r}"
+        )
+    target = Place.from_local(local.index)
+    influenced: Set[Location] = set()
+    for location in result.body.locations():
+        instruction = result.body.instruction_at(location)
+        written = getattr(instruction, "place", None) or getattr(
+            instruction, "destination", None
+        )
+        if written is not None and written.conflicts_with(target):
+            influenced |= result.forward_slice(location)
+    return frozenset(influenced)
 
 
 class SliceDirection(Enum):
@@ -67,16 +104,7 @@ class ProgramSlicer:
     def _lines_of_locations(
         self, result: FunctionFlowResult, locations: FrozenSet[Location]
     ) -> FrozenSet[int]:
-        lines: Set[int] = set()
-        for location in locations:
-            if location.block < 0:
-                continue
-            instruction = result.body.instruction_at(location)
-            span = getattr(instruction, "span", None)
-            if span is not None and not span.is_dummy():
-                for line in range(span.start_line, span.end_line + 1):
-                    lines.add(line)
-        return frozenset(lines)
+        return lines_of_locations(result.body, locations)
 
     def _variable_definition_lines(self, result: FunctionFlowResult, variable: str) -> FrozenSet[int]:
         local = result.body.local_by_name(variable)
@@ -106,29 +134,13 @@ class ProgramSlicer:
         variable; the forward slice is the union of their forward slices.
         """
         result = self._result(fn_name)
-        local = result.body.local_by_name(variable)
-        if local is None:
-            raise AnalysisError(f"function {fn_name!r} has no variable {variable!r}")
-        target = Place.from_local(local.index)
-
-        sources: Set[Location] = set()
-        for location in result.body.locations():
-            instruction = result.body.instruction_at(location)
-            written = getattr(instruction, "place", None) or getattr(
-                instruction, "destination", None
-            )
-            if written is not None and written.conflicts_with(target):
-                sources.add(location)
-
-        influenced: Set[Location] = set()
-        for source in sources:
-            influenced |= result.forward_slice(source)
+        influenced = forward_slice_locations(result, variable)
         return Slice(
             fn_name=fn_name,
             variable=variable,
             direction=SliceDirection.FORWARD,
-            locations=frozenset(influenced),
-            relevant_lines=self._lines_of_locations(result, frozenset(influenced)),
+            locations=influenced,
+            relevant_lines=self._lines_of_locations(result, influenced),
             criterion_lines=self._variable_definition_lines(result, variable),
         )
 

@@ -11,7 +11,11 @@ extension) with a small set of subcommands over MiniRust source files:
 * ``repro ifc FILE --secret-type T ... --sink F ...`` — run the IFC checker,
 * ``repro corpus [--scale S] [--crate NAME]`` — generate the evaluation corpus,
 * ``repro experiment [--scale S]`` — run the Section 5 experiment and print
-  the headline comparison.
+  the headline comparison,
+* ``repro serve [FILE]`` — run the incremental analysis service: line-delimited
+  JSON requests on stdin (or ``--input``), one JSON response per line,
+* ``repro query FILE`` — one-shot service query (``analyze``/``slice``/``ifc``/
+  ``stats``); ``--repeat`` demonstrates warm-cache hits.
 
 The CLI is intentionally thin: every subcommand is a few lines over the
 public library API, and each handler returns an exit code so it can be tested
@@ -100,6 +104,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run the Section 5 experiment")
     experiment.add_argument("--scale", type=float, default=0.2)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="incremental analysis service over line-delimited JSON stdio"
+    )
+    serve_cmd.add_argument(
+        "file", nargs="?", help="MiniRust file opened as the initial workspace unit"
+    )
+    serve_cmd.add_argument("--local-crate", default="main")
+    serve_cmd.add_argument("--cache-dir", help="directory for the JSON on-disk cache tier")
+    serve_cmd.add_argument("--max-entries", type=int, default=4096,
+                           help="in-memory LRU capacity of the summary store")
+    serve_cmd.add_argument("--input",
+                           help="read requests from this file instead of stdin")
+
+    query = sub.add_parser("query", help="one-shot query against the analysis service")
+    query.add_argument("file")
+    query.add_argument("--method", default="analyze",
+                       choices=["analyze", "slice", "ifc", "warm", "stats"])
+    query.add_argument("--function", help="restrict analyze / target slice")
+    query.add_argument("--variable", help="slice criterion variable")
+    query.add_argument("--forward", action="store_true", help="forward slice")
+    query.add_argument("--secret-type", action="append", default=[], dest="secret_types")
+    query.add_argument("--sink", action="append", default=[], dest="sinks")
+    query.add_argument("--local-crate", default="main")
+    query.add_argument("--cache-dir", help="directory for the JSON on-disk cache tier")
+    query.add_argument("--repeat", type=int, default=1,
+                       help="send the query N times (shows warm-cache hits)")
+    _add_condition_flags(query)
 
     return parser
 
@@ -198,6 +230,63 @@ def cmd_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.service.protocol import serve
+    from repro.service.session import AnalysisSession
+
+    session = AnalysisSession(
+        cache_dir=args.cache_dir,
+        max_entries=args.max_entries,
+        local_crate=args.local_crate,
+    )
+    if args.file is not None:
+        session.open_unit("main", _read_source(args.file))
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as in_stream:
+            return serve(in_stream, out, session)
+    return serve(sys.stdin, out, session)
+
+
+def cmd_query(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.service.protocol import AnalysisService
+    from repro.service.session import AnalysisSession
+
+    session = AnalysisSession(cache_dir=args.cache_dir, local_crate=args.local_crate)
+    session.open_unit("main", _read_source(args.file))
+    service = AnalysisService(session)
+
+    condition = {
+        "whole_program": args.whole_program,
+        "mut_blind": args.mut_blind,
+        "ref_blind": args.ref_blind,
+    }
+    params: dict = {"condition": condition}
+    if args.method == "analyze":
+        if args.function:
+            params["function"] = args.function
+    elif args.method == "slice":
+        if not args.function or not args.variable:
+            raise ReproError("`query --method slice` needs --function and --variable")
+        params.update(
+            function=args.function,
+            variable=args.variable,
+            direction="forward" if args.forward else "backward",
+        )
+    elif args.method == "ifc":
+        params.update(secret_types=args.secret_types, sinks=args.sinks)
+    elif args.method == "stats":
+        params = {}
+
+    failed = False
+    for index in range(max(1, args.repeat)):
+        response = service.handle({"id": index + 1, "method": args.method, "params": params})
+        out.write(json.dumps(response, sort_keys=True) + "\n")
+        failed = failed or not response.get("ok", False)
+    return 1 if failed else 0
+
+
 _HANDLERS = {
     "mir": cmd_mir,
     "analyze": cmd_analyze,
@@ -205,6 +294,8 @@ _HANDLERS = {
     "ifc": cmd_ifc,
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,
+    "serve": cmd_serve,
+    "query": cmd_query,
 }
 
 

@@ -31,41 +31,122 @@ from repro.mir.ir import Body
 from repro.mir.lower import LoweredProgram, lower_program
 
 
-class _RecursiveSummaryProvider(CallSummaryProvider):
+class RecursiveSummaryProvider(CallSummaryProvider):
     """Computes whole-program call summaries by recursively analysing callees.
 
     Recursion is bounded by ``config.max_whole_program_depth`` and broken on
     call cycles; in both cases ``summary_for`` returns ``None`` and the caller
     uses the modular rule instead, matching Flowistry's behaviour.
+
+    The :meth:`lookup_summary`/:meth:`store_summary` hooks let an external
+    summary backend (the service's content-addressed
+    :class:`~repro.service.cache.SummaryStore`) short-circuit the recursion:
+    a hit skips re-analysing the callee's whole call-graph cone.  The default
+    hooks do nothing, preserving the original in-engine-only memoisation.
+
+    Cached results must be indistinguishable from fresh recursion, so two
+    rules apply.  Only *complete* summaries are memoised or offered to the
+    backend: a summary whose computation hit the depth bound, or broke a call
+    cycle entered higher up the stack, depends on where the recursion started
+    — a different analysis root could compute a more precise one.  And a
+    complete summary is only *served* when the remaining depth budget could
+    have computed it fresh (its recorded computation height fits below the
+    bound); otherwise the recursion proceeds as if the cache were empty and
+    truncates exactly where a cold run would.
     """
 
     def __init__(self, engine: "FlowEngine", root_crate: str):
         self.engine = engine
         self.root_crate = root_crate
         self._cache: Dict[str, Optional[WholeProgramSummary]] = {}
+        # Computation height (number of stack frames a fresh recursion
+        # needs) per complete cached summary.
+        self._heights: Dict[str, int] = {}
         self._in_progress: Set[str] = set()
-        self._depth = 0
+        # The recursion stack: [callee name, tainted?, height] per frame.
+        self._stack: List[List[object]] = []
 
     def is_crate_boundary(self, callee: str) -> bool:
         body = self.engine.lowered.body(callee)
         return body is None or body.crate != self.root_crate
 
+    def _taint_all(self) -> None:
+        """Mark every active frame as context-dependent.
+
+        After a depth-bound fallback, any frame computed from a shallower
+        start would have had budget to recurse further; after a cycle-break,
+        every active frame's result depends on where the recursion entered
+        the cycle (the break lands at the inherited in-progress position).
+        Either way, none of the summaries on the stack may be cached.
+        """
+        for frame in self._stack:
+            frame[1] = True
+
+    def _fits_budget(self, height: int) -> bool:
+        """Whether a fresh recursion of ``height`` frames would complete
+        without hitting the depth bound from the current stack."""
+        return len(self._stack) + height <= self.engine.config.max_whole_program_depth
+
+    def _bump_parent(self, child_height: int) -> None:
+        if self._stack:
+            frame = self._stack[-1]
+            frame[2] = max(frame[2], child_height + 1)
+
+    # -- external backend hooks ------------------------------------------------
+
+    def lookup_summary(
+        self, callee: str, body: Body
+    ) -> Optional[Tuple[WholeProgramSummary, int]]:
+        """Consult an external summary backend.
+
+        Returns ``(summary, computation height)`` or ``None`` for a miss.
+        Backends must only ever hold complete summaries together with the
+        height recorded when they were stored.
+        """
+        return None
+
+    def store_summary(
+        self, callee: str, body: Body, summary: WholeProgramSummary, height: int
+    ) -> None:
+        """Offer a freshly computed complete summary to an external backend."""
+
     def summary_for(self, callee: str) -> Optional[WholeProgramSummary]:
         if callee in self._cache:
-            return self._cache[callee]
+            cached = self._cache[callee]
+            if cached is None:
+                return None  # negative entry: crate boundary
+            if self._fits_budget(self._heights[callee]):
+                self._bump_parent(self._heights[callee])
+                return cached
+            # Not enough budget left: recompute below, truncating exactly
+            # where a fresh recursion would.
         if self.is_crate_boundary(callee):
             self._cache[callee] = None
             return None
         if callee in self._in_progress:
             # Call cycle: fall back to the modular approximation.
-            return None
-        if self._depth >= self.engine.config.max_whole_program_depth:
+            self._taint_all()
             return None
 
         body = self.engine.lowered.body(callee)
         assert body is not None
+        if callee not in self._cache:
+            external = self.lookup_summary(callee, body)
+            if external is not None:
+                summary, height = external
+                if self._fits_budget(height):
+                    self._cache[callee] = summary
+                    self._heights[callee] = height
+                    self._bump_parent(height)
+                    return summary
+                # Insufficient budget: ignore the hit and recompute.
+        if len(self._stack) >= self.engine.config.max_whole_program_depth:
+            self._taint_all()
+            return None
+
         self._in_progress.add(callee)
-        self._depth += 1
+        frame: List[object] = [callee, False, 1]
+        self._stack.append(frame)
         try:
             result = FunctionFlowAnalysis(
                 body=body,
@@ -83,11 +164,20 @@ class _RecursiveSummaryProvider(CallSummaryProvider):
                 mutable_ref_paths=self.engine.mutable_ref_paths(callee),
             )
         finally:
-            self._depth -= 1
+            self._stack.pop()
             self._in_progress.discard(callee)
 
-        self._cache[callee] = summary
+        height = int(frame[2])
+        if not frame[1]:
+            self.store_summary(callee, body, summary, height)
+            self._cache[callee] = summary
+            self._heights[callee] = height
+        self._bump_parent(height)
         return summary
+
+
+# Backwards-compatible alias for the pre-service private name.
+_RecursiveSummaryProvider = RecursiveSummaryProvider
 
 
 @dataclass
@@ -149,7 +239,17 @@ class FlowEngine:
         return cls.from_program(parse_program(source), config=config)
 
     def _make_provider(self) -> CallSummaryProvider:
-        return _RecursiveSummaryProvider(self, root_crate=self.local_crate)
+        return RecursiveSummaryProvider(self, root_crate=self.local_crate)
+
+    def set_provider(self, provider: CallSummaryProvider) -> None:
+        """Install an external call-summary provider (e.g. one backed by the
+        service's :class:`~repro.service.cache.SummaryStore`).
+
+        Memoised per-function results are dropped: they may have been computed
+        under the previous provider.
+        """
+        self._provider = provider
+        self._results.clear()
 
     # -- program structure ---------------------------------------------------------
 
@@ -193,17 +293,28 @@ class FlowEngine:
         """Analyse one function (memoised per engine/configuration)."""
         if name in self._results:
             return self._results[name]
+        result = self.analyze_function_with(name, self._provider)
+        self._results[name] = result
+        return result
+
+    def analyze_function_with(
+        self, name: str, provider: CallSummaryProvider
+    ) -> FunctionFlowResult:
+        """Analyse one function through an explicit summary provider.
+
+        This is the reusable per-function entry point of the incremental
+        service: it performs no engine-level memoisation, so the caller (a
+        cache, a scheduler worker) fully controls result reuse.
+        """
         body = self.lowered.body(name)
         if body is None:
             raise KeyError(f"no body available for function {name!r}")
-        result = FunctionFlowAnalysis(
+        return FunctionFlowAnalysis(
             body=body,
             signatures=self.signatures,
             config=self.config,
-            provider=self._provider,
+            provider=provider,
         ).run()
-        self._results[name] = result
-        return result
 
     def analyze_local_crate(self) -> ProgramFlowResult:
         """Analyse every function of the local crate (the evaluation's unit)."""

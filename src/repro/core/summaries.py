@@ -56,6 +56,42 @@ class WholeProgramSummary:
     def mutated_params(self) -> Set[int]:
         return {param for param, _path in self.mutations}
 
+    # -- serialisation -------------------------------------------------------
+    #
+    # Summaries are the unit of persistence of the incremental analysis
+    # service (:mod:`repro.service.cache`): a summary computed for one
+    # fingerprint of a callee body can be reloaded in a later process instead
+    # of re-analysing the callee.  The JSON form is intentionally flat so the
+    # on-disk tier stays greppable.
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable dict; inverse of :meth:`from_json_dict`."""
+        return {
+            "callee": self.callee,
+            "return_sources": sorted(self.return_sources),
+            "mutations": [
+                {
+                    "param": param,
+                    "path": list(path),
+                    "sources": sorted(sources),
+                }
+                for (param, path), sources in sorted(self.mutations.items())
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "WholeProgramSummary":
+        """Rebuild a summary from :meth:`to_json_dict` output."""
+        mutations: Dict[MutationKey, FrozenSet[int]] = {}
+        for entry in data.get("mutations", []):
+            key = (int(entry["param"]), tuple(int(i) for i in entry["path"]))
+            mutations[key] = frozenset(int(i) for i in entry["sources"])
+        return cls(
+            callee=str(data["callee"]),
+            return_sources=frozenset(int(i) for i in data.get("return_sources", [])),
+            mutations=mutations,
+        )
+
     def pretty(self) -> str:
         lines = [f"summary of {self.callee}:"]
         rets = ", ".join(f"arg{i}" for i in sorted(self.return_sources)) or "(constants only)"

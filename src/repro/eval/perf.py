@@ -121,6 +121,94 @@ def compare_deep_call_graph(depth: int = 6, fanout: int = 2) -> PerfComparison:
     )
 
 
+@dataclass
+class WarmColdComparison:
+    """Cold vs warm corpus analysis through the incremental service.
+
+    The cold pass analyses every function of every corpus crate through a
+    fresh :class:`~repro.service.session.AnalysisSession` backed by a shared
+    :class:`~repro.service.cache.SummaryStore`; the warm pass repeats it with
+    *new* sessions over the same store, so parsing/checking/lowering is paid
+    again but every per-function analysis is served from cache.  The speedup
+    is therefore a lower bound on what a resident session achieves.
+    """
+
+    condition: str
+    functions: int
+    cold_seconds: float
+    warm_seconds: float
+    cold_hits: int
+    warm_hits: int
+
+    @property
+    def speedup(self) -> float:
+        if self.warm_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "condition": self.condition,
+            "functions": self.functions,
+            "cold_ms": round(self.cold_seconds * 1e3, 2),
+            "warm_ms": round(self.warm_seconds * 1e3, 2),
+            "warm_hits": self.warm_hits,
+            "speedup": round(self.speedup, 1),
+        }
+
+
+def compare_warm_cold(
+    corpus: Optional[Sequence[GeneratedCrate]] = None,
+    config: AnalysisConfig = MODULAR,
+    scale: float = 0.15,
+    store=None,
+) -> WarmColdComparison:
+    """Measure repeated corpus analysis with and without a warm summary cache."""
+    from repro.eval.corpus import generate_corpus
+    from repro.service.cache import SummaryStore
+    from repro.service.session import AnalysisSession
+
+    if corpus is None:
+        corpus = generate_corpus(scale=scale)
+    if store is None:
+        store = SummaryStore(max_entries=1 << 16)
+
+    def one_pass() -> Tuple[float, int, int]:
+        hits = 0
+        functions = 0
+        start = time.perf_counter()
+        for crate in corpus:
+            session = AnalysisSession(store=store, local_crate=crate.name)
+            session.open_unit(crate.name, crate.source)
+            response = session.analyze(config=config)
+            hits += response["cache_hits"]
+            functions += len(response["functions"])
+        return time.perf_counter() - start, hits, functions
+
+    cold_seconds, cold_hits, functions = one_pass()
+    warm_seconds, warm_hits, _ = one_pass()
+    return WarmColdComparison(
+        condition=config.name,
+        functions=functions,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cold_hits=cold_hits,
+        warm_hits=warm_hits,
+    )
+
+
+def render_warm_cold_report(comparisons: Sequence[WarmColdComparison]) -> str:
+    """Text report of the service's warm-vs-cold benchmark."""
+    lines = ["Incremental service: cold vs warm corpus analysis:", ""]
+    for cmp in comparisons:
+        lines.append(
+            f"  {cmp.condition:<16} {cmp.functions:4d} functions: "
+            f"cold {cmp.cold_seconds * 1e3:8.1f} ms -> warm {cmp.warm_seconds * 1e3:8.1f} ms "
+            f"({cmp.warm_hits} cache hits, speedup {cmp.speedup:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
 def render_perf_report(
     runs: Sequence[ConditionRun], deep: Optional[PerfComparison] = None
 ) -> str:

@@ -43,6 +43,33 @@ class CallGraph:
             caller for caller, callees in self.edges.items() if name in callees
         )
 
+    def reverse_edges(self) -> Dict[str, Set[str]]:
+        """Callee → set of direct callers, built in one pass.
+
+        The incremental service walks this map to find the functions whose
+        whole-program results an edit can invalidate; building it once avoids
+        the O(nodes × edges) cost of repeated :meth:`callers` queries.
+        """
+        reverse: Dict[str, Set[str]] = {name: set() for name in self.nodes}
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        return reverse
+
+    def transitive_callers(self, name: str) -> Set[str]:
+        """All functions from which ``name`` is transitively reachable
+        (excluding ``name`` itself unless it calls itself through a cycle)."""
+        reverse = self.reverse_edges()
+        seen: Set[str] = set()
+        stack = list(reverse.get(name, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(reverse.get(current, ()))
+        return seen
+
     def reachable_from(self, name: str) -> Set[str]:
         """All functions transitively reachable from ``name`` (including it)."""
         seen: Set[str] = set()

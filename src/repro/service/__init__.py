@@ -1,0 +1,53 @@
+"""Incremental analysis service.
+
+The paper's headline claim is that *modular* flow analysis is fast enough for
+interactive use (median ~370µs per function).  This package turns the one-shot
+library into a long-lived service that exploits that modularity:
+
+* :mod:`repro.service.cache` — a content-addressed :class:`SummaryStore`
+  keyed by (function fingerprint, analysis condition) with an in-memory LRU
+  tier and an optional JSON-on-disk tier,
+* :mod:`repro.service.invalidate` — call-graph-aware invalidation: an edit
+  evicts exactly the functions whose results could change (just the edited
+  function under the modular condition — the paper's modularity payoff),
+* :mod:`repro.service.scheduler` — a topological batch scheduler that fans
+  independent functions out over a process pool,
+* :mod:`repro.service.session` — the :class:`AnalysisSession` façade owning a
+  mutable workspace of MiniRust sources and answering analyze/slice/ifc
+  queries through the cache,
+* :mod:`repro.service.protocol` — a line-delimited JSON request/response
+  protocol driving a session over stdio (``repro serve`` / ``repro query``).
+"""
+
+from repro.service.cache import (
+    CacheKey,
+    CacheStats,
+    FingerprintIndex,
+    FunctionRecord,
+    StoreBackedSummaryProvider,
+    SummaryStore,
+    config_cache_key,
+)
+from repro.service.invalidate import InvalidationPlan, apply_invalidation, plan_invalidation
+from repro.service.scheduler import BatchResult, BatchScheduler, schedule_waves
+from repro.service.session import AnalysisSession
+from repro.service.protocol import AnalysisService, serve
+
+__all__ = [
+    "AnalysisService",
+    "AnalysisSession",
+    "BatchResult",
+    "BatchScheduler",
+    "CacheKey",
+    "CacheStats",
+    "FingerprintIndex",
+    "FunctionRecord",
+    "InvalidationPlan",
+    "StoreBackedSummaryProvider",
+    "SummaryStore",
+    "apply_invalidation",
+    "config_cache_key",
+    "plan_invalidation",
+    "schedule_waves",
+    "serve",
+]

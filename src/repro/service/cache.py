@@ -1,0 +1,468 @@
+"""Content-addressed summary cache: the persistence layer of the service.
+
+Keys are *content fingerprints*, not positions: a function's cache key hashes
+the text of everything its result can depend on.  Under the modular condition
+that is just its own lowered body plus the **signatures** of its direct
+callees (the paper's Section 2.3 rule: a call is approximated from the callee
+type alone).  Under the whole-program condition it is the lowered bodies of
+the function's entire reachable call-graph cone within the local crate.  An
+edit therefore changes exactly the keys of the functions whose results could
+change — stale entries become unreachable garbage rather than wrong answers,
+and :mod:`repro.service.invalidate` exists to *reclaim* them, not to keep the
+cache correct.
+
+The store has two tiers: an in-memory LRU of JSON-serialisable values, and an
+optional directory of JSON files that survives the process (one file per
+entry, named by the SHA-256 of the key).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.analysis import FunctionFlowResult
+from repro.core.config import AnalysisConfig
+from repro.core.engine import FlowEngine, RecursiveSummaryProvider
+from repro.core.summaries import WholeProgramSummary
+from repro.core.theta import is_arg_location
+from repro.mir.callgraph import CallGraph
+from repro.mir.ir import Body, Location, Place, RETURN_LOCAL
+from repro.mir.lower import LoweredProgram
+from repro.mir.pretty import pretty_body
+
+
+# Cached-value kinds: a per-function analysis record served to queries, and a
+# parameter-level whole-program summary consumed by the recursive provider.
+KIND_RECORD = "record"
+KIND_SUMMARY = "summary"
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def config_cache_key(config: AnalysisConfig) -> str:
+    """A canonical, order-stable rendering of every field of ``config``.
+
+    Derived from the dataclass itself so a future ``AnalysisConfig`` field
+    automatically becomes part of the key instead of silently colliding
+    results from different configurations.
+    """
+    parts = []
+    for f in dataclasses.fields(AnalysisConfig):
+        value = getattr(config, f.name)
+        parts.append(f"{f.name}={int(value) if isinstance(value, bool) else value}")
+    return ",".join(parts)
+
+
+def condition_is_whole_program(condition: str) -> bool:
+    return "whole_program=1" in condition.split(",")
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached value."""
+
+    kind: str
+    fn_name: str
+    fingerprint: str
+    condition: str
+
+    def file_name(self) -> str:
+        return _digest(f"{self.kind}|{self.fn_name}|{self.fingerprint}|{self.condition}") + ".json"
+
+    def to_json_dict(self) -> Dict[str, str]:
+        return {
+            "kind": self.kind,
+            "fn_name": self.fn_name,
+            "fingerprint": self.fingerprint,
+            "condition": self.condition,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, str]) -> "CacheKey":
+        return cls(
+            kind=str(data["kind"]),
+            fn_name=str(data["fn_name"]),
+            fingerprint=str(data["fingerprint"]),
+            condition=str(data["condition"]),
+        )
+
+
+class FingerprintIndex:
+    """Fingerprints of every function of one checked+lowered program.
+
+    ``signature_fingerprint`` covers extern and cross-crate functions (the
+    modular analysis only ever sees their signatures); ``body_fingerprint``
+    covers local bodies; ``shallow_fingerprint`` and ``cone_fingerprint`` are
+    the per-condition cache keys described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        lowered: LoweredProgram,
+        signatures: Dict[str, object],
+        local_crate: str,
+        call_graph: CallGraph,
+    ):
+        self.lowered = lowered
+        self.signatures = signatures
+        self.local_crate = local_crate
+        self.call_graph = call_graph
+        self._sig: Dict[str, str] = {}
+        self._body: Dict[str, Optional[str]] = {}
+        self._shallow: Dict[str, str] = {}
+        self._cone: Dict[str, str] = {}
+
+    def signature_fingerprint(self, name: str) -> str:
+        if name not in self._sig:
+            sig = self.signatures.get(name)
+            rendered = sig.pretty() if sig is not None else f"<unknown {name}>"
+            self._sig[name] = _digest(rendered)
+        return self._sig[name]
+
+    def body_fingerprint(self, name: str) -> Optional[str]:
+        """Fingerprint of the lowered body text, or ``None`` for extern fns."""
+        if name not in self._body:
+            body = self.lowered.body(name)
+            if body is None:
+                self._body[name] = None
+            else:
+                self._body[name] = _digest(f"{body.crate}::{pretty_body(body)}")
+        return self._body[name]
+
+    def _node_fingerprint(self, name: str) -> str:
+        """Body fingerprint for local-crate bodies, signature otherwise —
+        mirroring which information the whole-program analysis may use."""
+        body = self.lowered.body(name)
+        if body is not None and body.crate == self.local_crate:
+            return self.body_fingerprint(name) or self.signature_fingerprint(name)
+        return self.signature_fingerprint(name)
+
+    def shallow_fingerprint(self, name: str) -> str:
+        """Modular-condition key: own body + direct callees' signatures."""
+        if name not in self._shallow:
+            parts = [self.body_fingerprint(name) or self.signature_fingerprint(name)]
+            for callee in self.call_graph.unique_callees(name):
+                parts.append(f"{callee}={self.signature_fingerprint(callee)}")
+            self._shallow[name] = _digest("|".join(parts))
+        return self._shallow[name]
+
+    def cone_fingerprint(self, name: str) -> str:
+        """Whole-program-condition key: the reachable call-graph cone."""
+        if name not in self._cone:
+            parts = []
+            for node in sorted(self.call_graph.reachable_from(name) | {name}):
+                parts.append(f"{node}={self._node_fingerprint(node)}")
+            self._cone[name] = _digest("|".join(parts))
+        return self._cone[name]
+
+    def record_fingerprint(self, name: str, config: AnalysisConfig) -> str:
+        if config.whole_program:
+            return self.cone_fingerprint(name)
+        return self.shallow_fingerprint(name)
+
+    def record_key(self, name: str, config: AnalysisConfig) -> CacheKey:
+        return CacheKey(
+            kind=KIND_RECORD,
+            fn_name=name,
+            fingerprint=self.record_fingerprint(name, config),
+            condition=config_cache_key(config),
+        )
+
+    def summary_key(self, name: str, config: AnalysisConfig) -> CacheKey:
+        return CacheKey(
+            kind=KIND_SUMMARY,
+            fn_name=name,
+            fingerprint=self.cone_fingerprint(name),
+            condition=config_cache_key(config),
+        )
+
+    def snapshot(self) -> Dict[str, Tuple[str, Optional[str]]]:
+        """(signature fp, body fp) per known function — the edit-diff input."""
+        names = set(self.call_graph.nodes) | set(self.lowered.bodies) | set(self.signatures)
+        return {
+            name: (self.signature_fingerprint(name), self.body_fingerprint(name))
+            for name in names
+        }
+
+
+@dataclass
+class CacheStats:
+    """Counters surfaced in service responses (`stats` blocks)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+        }
+
+
+class SummaryStore:
+    """Two-tier (memory LRU + optional JSON directory) cache of JSON values."""
+
+    def __init__(self, max_entries: int = 4096, disk_dir: Optional[Path] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, dict]" = OrderedDict()
+        # Every key seen this process, per function name: the index used by
+        # name-based invalidation (content addressing already guarantees that
+        # stale entries can never be *served*; this lets us reclaim them).
+        self._by_name: Dict[str, Set[CacheKey]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    # -- tiers -----------------------------------------------------------------
+
+    def _disk_path(self, key: CacheKey) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / key.file_name()
+
+    def _load_from_disk(self, key: CacheKey) -> Optional[dict]:
+        path = self._disk_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key") != key.to_json_dict():
+            # Hash-prefix collision or foreign file: never serve it.
+            return None
+        value = payload.get("value")
+        return value if isinstance(value, dict) else None
+
+    def _write_to_disk(self, key: CacheKey, value: dict) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.write_text(
+                json.dumps({"key": key.to_json_dict(), "value": value}, sort_keys=True),
+                encoding="utf-8",
+            )
+            self.stats.disk_writes += 1
+        except OSError:
+            pass  # The disk tier is best-effort; memory stays authoritative.
+
+    # -- public API -------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[dict]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        value = self._load_from_disk(key)
+        if value is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert(key, value, write_disk=False)
+            return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: CacheKey, value: dict) -> None:
+        self._insert(key, value, write_disk=True)
+        self.stats.puts += 1
+
+    def _insert(self, key: CacheKey, value: dict, write_disk: bool) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self._by_name.setdefault(key.fn_name, set()).add(key)
+        while len(self._entries) > self.max_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            if self.disk_dir is None:
+                # Nothing left to reclaim for this key: drop its name-index
+                # entry too, or a long-lived session leaks one key per edit.
+                names = self._by_name.get(evicted_key.fn_name)
+                if names is not None:
+                    names.discard(evicted_key)
+            # With a disk tier the entry stays on disk (and in the name
+            # index, so invalidation can still unlink the file): the LRU
+            # bounds memory, not persistence.
+        if write_disk:
+            self._write_to_disk(key, value)
+
+    def invalidate_function(
+        self, fn_name: str, predicate: Optional[Callable[[CacheKey], bool]] = None
+    ) -> int:
+        """Drop every known entry for ``fn_name`` (memory and disk).
+
+        ``predicate`` restricts which keys are dropped (e.g. only
+        whole-program conditions).  Returns the number of entries removed.
+        """
+        removed = 0
+        keys = sorted(
+            self._by_name.get(fn_name, ()),
+            key=lambda k: (k.kind, k.condition, k.fingerprint),
+        )
+        for key in keys:
+            if predicate is not None and not predicate(key):
+                continue
+            self._by_name[fn_name].discard(key)
+            in_memory = self._entries.pop(key, None) is not None
+            on_disk = False
+            path = self._disk_path(key)
+            if path is not None and path.is_file():
+                try:
+                    path.unlink()
+                    on_disk = True
+                except OSError:
+                    pass
+            if in_memory or on_disk:
+                removed += 1
+        self.stats.invalidations += removed
+        return removed
+
+    def clear(self) -> None:
+        """Wipe both tiers: a cleared entry must not resurrect from disk."""
+        self._entries.clear()
+        self._by_name.clear()
+        if self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+
+@dataclass
+class FunctionRecord:
+    """The query-facing cached result of analysing one function.
+
+    Locations are serialised as ``[block, statement]`` pairs; the synthetic
+    argument tags use their in-engine encoding (``block == -2``), so the
+    record round-trips losslessly through JSON.
+    """
+
+    fn_name: str
+    crate: str
+    condition: str
+    fingerprint: str
+    dependency_sizes: Dict[str, int]
+    exit_deps: Dict[str, List[Tuple[int, int]]]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "fn_name": self.fn_name,
+            "crate": self.crate,
+            "condition": self.condition,
+            "fingerprint": self.fingerprint,
+            "dependency_sizes": dict(self.dependency_sizes),
+            "exit_deps": {
+                var: [list(loc) for loc in locs] for var, locs in self.exit_deps.items()
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FunctionRecord":
+        return cls(
+            fn_name=str(data["fn_name"]),
+            crate=str(data["crate"]),
+            condition=str(data["condition"]),
+            fingerprint=str(data["fingerprint"]),
+            dependency_sizes={str(k): int(v) for k, v in data["dependency_sizes"].items()},
+            exit_deps={
+                str(var): [(int(loc[0]), int(loc[1])) for loc in locs]
+                for var, locs in data["exit_deps"].items()
+            },
+        )
+
+    @classmethod
+    def from_result(
+        cls, result: FunctionFlowResult, fingerprint: str, condition: str
+    ) -> "FunctionRecord":
+        body = result.body
+        theta = result.exit_theta
+        exit_deps: Dict[str, List[Tuple[int, int]]] = {}
+        for local in body.locals:
+            if local.index == RETURN_LOCAL:
+                label = "<return>"
+            else:
+                label = local.name if local.name is not None else f"_{local.index}"
+            deps = theta.read_conflicts(Place.from_local(local.index))
+            exit_deps[label] = sorted((loc.block, loc.statement) for loc in deps)
+        return cls(
+            fn_name=body.fn_name,
+            crate=body.crate,
+            condition=condition,
+            fingerprint=fingerprint,
+            dependency_sizes=result.dependency_sizes(),
+            exit_deps=exit_deps,
+        )
+
+    # -- derived views ----------------------------------------------------------
+
+    def deps_of(self, variable: str) -> List[Location]:
+        if variable not in self.exit_deps:
+            raise KeyError(f"function {self.fn_name!r} has no variable {variable!r}")
+        return [Location(block, statement) for block, statement in self.exit_deps[variable]]
+
+    def backward_slice_locations(self, variable: str) -> List[Location]:
+        """Backward slice of ``variable`` at exit: its non-argument deps."""
+        return [loc for loc in self.deps_of(variable) if not is_arg_location(loc)]
+
+
+class StoreBackedSummaryProvider(RecursiveSummaryProvider):
+    """Recursive whole-program provider that round-trips callee summaries
+    through a :class:`SummaryStore`.
+
+    Summary keys use the callee's *cone* fingerprint, so a stored summary is
+    served only while every body it transitively depends on is unchanged.
+    Each value also records the summary's computation height — the provider
+    uses it to refuse hits that the current recursion's depth budget could
+    not have computed fresh, keeping warm results byte-equal to cold ones.
+    """
+
+    def __init__(self, engine: FlowEngine, store: SummaryStore, fingerprints: FingerprintIndex):
+        super().__init__(engine, root_crate=engine.local_crate)
+        self.store = store
+        self.fingerprints = fingerprints
+
+    def lookup_summary(
+        self, callee: str, body: Body
+    ) -> Optional[Tuple[WholeProgramSummary, int]]:
+        key = self.fingerprints.summary_key(callee, self.engine.config)
+        data = self.store.get(key)
+        if data is None or "summary" not in data:
+            return None
+        return (
+            WholeProgramSummary.from_json_dict(data["summary"]),
+            int(data.get("height", 1)),
+        )
+
+    def store_summary(
+        self, callee: str, body: Body, summary: WholeProgramSummary, height: int
+    ) -> None:
+        key = self.fingerprints.summary_key(callee, self.engine.config)
+        self.store.put(key, {"summary": summary.to_json_dict(), "height": height})

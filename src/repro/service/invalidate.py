@@ -1,0 +1,135 @@
+"""Call-graph-aware invalidation: which results can an edit change?
+
+This module encodes the paper's modularity payoff as executable policy.
+Under the **modular** condition a function's result reads only its own body
+and the *signatures* of its direct callees, so a body edit invalidates
+exactly the edited function, and a signature edit additionally invalidates
+its direct callers.  Under the **whole-program** condition results read
+transitively into callee bodies, so an edit invalidates the edited function
+plus its entire reverse-call-graph cone — the asymmetry the service's tests
+assert, and the reason the modular analysis stays interactive while the
+whole-program variant cannot.
+
+Invalidation here is about *reclaiming* cache entries: the content-addressed
+keys of :mod:`repro.service.cache` already guarantee that stale entries are
+never served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.mir.callgraph import CallGraph
+from repro.service.cache import CacheKey, SummaryStore, condition_is_whole_program
+
+
+REASON_EDITED = "edited"
+REASON_SIGNATURE_CALLER = "caller-of-signature-change"
+REASON_TRANSITIVE_CALLER = "transitive-caller"
+
+
+@dataclass
+class InvalidationPlan:
+    """The eviction set for one edit under one condition family."""
+
+    whole_program: bool
+    body_changed: tuple
+    sig_changed: tuple
+    removed: tuple
+    # function name -> why it is evicted (REASON_* constants).
+    evict: Dict[str, str] = field(default_factory=dict)
+
+    def evicted_functions(self) -> List[str]:
+        return sorted(self.evict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "whole_program": self.whole_program,
+            "body_changed": sorted(self.body_changed),
+            "sig_changed": sorted(self.sig_changed),
+            "removed": sorted(self.removed),
+            "evict": dict(sorted(self.evict.items())),
+        }
+
+
+def plan_invalidation(
+    graph: CallGraph,
+    *,
+    body_changed: Iterable[str] = (),
+    sig_changed: Iterable[str] = (),
+    removed: Iterable[str] = (),
+    whole_program: bool,
+) -> InvalidationPlan:
+    """Compute the exact eviction set for an edit.
+
+    ``body_changed`` are functions whose body text changed but whose
+    signature did not; ``sig_changed`` are functions whose signature changed
+    (their body may or may not have); ``removed`` are functions deleted from
+    the workspace.  The reverse call graph is the *old* one (edges as they
+    were when the cached results were computed) — callers recorded under the
+    previous program shape are exactly the entries at risk.
+    """
+    body_changed = tuple(sorted(set(body_changed)))
+    sig_changed = tuple(sorted(set(sig_changed)))
+    removed = tuple(sorted(set(removed)))
+    plan = InvalidationPlan(
+        whole_program=whole_program,
+        body_changed=body_changed,
+        sig_changed=sig_changed,
+        removed=removed,
+    )
+
+    edited: Set[str] = set(body_changed) | set(sig_changed) | set(removed)
+    for name in edited:
+        plan.evict[name] = REASON_EDITED
+
+    if whole_program:
+        # Any edit can flow into every transitive caller's summary.
+        reverse = graph.reverse_edges()
+        stack = list(edited)
+        while stack:
+            current = stack.pop()
+            for caller in reverse.get(current, ()):
+                if caller not in plan.evict:
+                    plan.evict[caller] = REASON_TRANSITIVE_CALLER
+                    stack.append(caller)
+    else:
+        # Modular results read only direct callees' signatures: a pure body
+        # edit stays local; a signature change reaches direct callers only.
+        for name in set(sig_changed) | set(removed):
+            for caller in graph.callers(name):
+                if caller not in plan.evict:
+                    plan.evict[caller] = REASON_SIGNATURE_CALLER
+    return plan
+
+
+def apply_invalidation(store: SummaryStore, plan: InvalidationPlan) -> int:
+    """Evict the plan's functions from ``store``; returns entries removed.
+
+    Only entries of the plan's condition family are touched, so the modular
+    plan cannot over-evict whole-program entries and vice versa.
+    """
+
+    def matches(key: CacheKey) -> bool:
+        return condition_is_whole_program(key.condition) == plan.whole_program
+
+    removed = 0
+    for fn_name in plan.evicted_functions():
+        removed += store.invalidate_function(fn_name, predicate=matches)
+    return removed
+
+
+def plan_both_conditions(
+    graph: CallGraph,
+    *,
+    body_changed: Iterable[str] = (),
+    sig_changed: Iterable[str] = (),
+    removed: Iterable[str] = (),
+) -> Dict[bool, InvalidationPlan]:
+    """Plans for the modular and whole-program condition families."""
+    kwargs = dict(body_changed=body_changed, sig_changed=sig_changed, removed=removed)
+    return {
+        False: plan_invalidation(graph, whole_program=False, **kwargs),
+        True: plan_invalidation(graph, whole_program=True, **kwargs),
+    }

@@ -1,0 +1,181 @@
+"""Line-delimited JSON protocol for driving an :class:`AnalysisSession`.
+
+One request per line, one response per line, ordered; this is the transport
+behind ``repro serve``.  A request looks like::
+
+    {"id": 1, "method": "analyze", "params": {"function": "get_count",
+     "condition": {"whole_program": true}}}
+
+and its response::
+
+    {"id": 1, "ok": true, "result": {...}}
+
+Errors never kill the loop: a malformed line or a failing query produces an
+``{"ok": false, "error": ...}`` response and the service keeps reading.  The
+``shutdown`` method ends the loop (EOF does too).
+
+Methods: ``open``, ``update``, ``close``, ``analyze``, ``slice``, ``ifc``,
+``warm``, ``stats``, ``ping``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO, Optional
+
+from repro.core.config import AnalysisConfig
+from repro.errors import ReproError
+from repro.service.session import AnalysisSession
+
+
+class ProtocolError(ReproError):
+    """A malformed request (bad JSON, unknown method, missing params)."""
+
+
+def condition_from_params(params: dict) -> Optional[AnalysisConfig]:
+    """Build an :class:`AnalysisConfig` from a request's ``condition`` block."""
+    condition = params.get("condition")
+    if condition is None:
+        return None
+    if not isinstance(condition, dict):
+        raise ProtocolError("`condition` must be an object of boolean flags")
+    known = {f.name for f in dataclasses.fields(AnalysisConfig)}
+    unknown = set(condition) - known
+    if unknown:
+        raise ProtocolError(f"unknown condition flags: {sorted(unknown)}")
+    return AnalysisConfig(**condition)
+
+
+class AnalysisService:
+    """Dispatches protocol requests onto one session."""
+
+    def __init__(self, session: Optional[AnalysisSession] = None):
+        self.session = session or AnalysisSession()
+        self.requests_handled = 0
+        self.shutdown_requested = False
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"id": None, "ok": False, "error": f"invalid JSON: {error}"}
+        if not isinstance(request, dict):
+            return {"id": None, "ok": False, "error": "request must be a JSON object"}
+        return self.handle(request)
+
+    def handle(self, request: dict) -> dict:
+        request_id = request.get("id")
+        self.requests_handled += 1
+        try:
+            method = request.get("method")
+            if not isinstance(method, str):
+                raise ProtocolError("missing `method`")
+            handler = getattr(self, f"_method_{method}", None)
+            if handler is None:
+                raise ProtocolError(f"unknown method {method!r}")
+            params = request.get("params", {})
+            if not isinstance(params, dict):
+                raise ProtocolError("`params` must be an object")
+            result = handler(params)
+            return {"id": request_id, "ok": True, "result": result}
+        except ReproError as error:
+            return {"id": request_id, "ok": False, "error": str(error)}
+        except (KeyError, TypeError, ValueError) as error:
+            return {"id": request_id, "ok": False, "error": f"bad request: {error}"}
+        except Exception as error:  # the loop survives anything a query throws
+            return {
+                "id": request_id,
+                "ok": False,
+                "error": f"internal error: {type(error).__name__}: {error}",
+            }
+
+    # -- methods -----------------------------------------------------------------
+
+    def _method_ping(self, params: dict) -> dict:
+        return {"pong": True, "requests_handled": self.requests_handled}
+
+    def _method_open(self, params: dict) -> dict:
+        source = params.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError("`open` needs a string `source`")
+        unit = params.get("unit", "main")
+        local_crate = params.get("local_crate")
+        previous_crate = self.session.local_crate
+        if local_crate is not None:
+            self.session.local_crate = str(local_crate)
+        try:
+            return self.session.open_unit(str(unit), source)
+        except Exception:
+            # Keep the failed open fully transactional: the crate selection
+            # must roll back along with the unit map.
+            self.session.local_crate = previous_crate
+            raise
+
+    def _method_update(self, params: dict) -> dict:
+        source = params.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError("`update` needs a string `source`")
+        return self.session.update_unit(str(params.get("unit", "main")), source)
+
+    def _method_close(self, params: dict) -> dict:
+        return self.session.close_unit(str(params.get("unit", "main")))
+
+    def _method_analyze(self, params: dict) -> dict:
+        return self.session.analyze(
+            function=params.get("function"),
+            config=condition_from_params(params),
+        )
+
+    def _method_slice(self, params: dict) -> dict:
+        function = params.get("function")
+        variable = params.get("variable")
+        if not isinstance(function, str) or not isinstance(variable, str):
+            raise ProtocolError("`slice` needs string `function` and `variable`")
+        return self.session.slice(
+            function,
+            variable,
+            direction=str(params.get("direction", "backward")),
+            config=condition_from_params(params),
+        )
+
+    def _method_ifc(self, params: dict) -> dict:
+        return self.session.ifc(
+            secret_types=[str(t) for t in params.get("secret_types", [])],
+            secret_variables=[str(v) for v in params.get("secret_variables", [])],
+            sinks=[str(s) for s in params.get("sinks", [])],
+            config=condition_from_params(params),
+        )
+
+    def _method_warm(self, params: dict) -> dict:
+        parallel = params.get("parallel")
+        if parallel is not None and not isinstance(parallel, bool):
+            raise ProtocolError("`parallel` must be a boolean")
+        return self.session.warm(config=condition_from_params(params), parallel=parallel)
+
+    def _method_stats(self, params: dict) -> dict:
+        return self.session.stats()
+
+    def _method_shutdown(self, params: dict) -> dict:
+        self.shutdown_requested = True
+        return {"shutdown": True, "requests_handled": self.requests_handled}
+
+
+def serve(in_stream: IO[str], out_stream: IO[str], session: Optional[AnalysisSession] = None) -> int:
+    """Run the request/response loop until EOF or ``shutdown``; returns 0."""
+    service = AnalysisService(session)
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response = service.handle_line(line)
+        out_stream.write(json.dumps(response, sort_keys=True) + "\n")
+        try:
+            out_stream.flush()
+        except (AttributeError, OSError):
+            pass
+        if service.shutdown_requested:
+            break
+    return 0

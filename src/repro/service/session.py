@@ -1,0 +1,399 @@
+"""The :class:`AnalysisSession` façade: a mutable workspace served from cache.
+
+A session owns named MiniRust source *units* (think open editor buffers or
+crate files), keeps them parsed/checked/lowered, and answers ``analyze``,
+``slice`` and ``ifc`` queries.  Every per-function answer flows through the
+content-addressed :class:`~repro.service.cache.SummaryStore`, so a repeated
+query over unchanged code is a cache lookup, and applying an edit re-runs
+only what :mod:`repro.service.invalidate` says could have changed.
+
+The interaction-time contract this encodes is the paper's: modular analysis
+makes per-function results independent of other bodies, so in the common
+(modular) configuration an edit costs one re-analysis regardless of
+workspace size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.apps.ifc import IfcChecker, IfcPolicy
+from repro.apps.slicer import forward_slice_locations, lines_of_locations
+from repro.core.analysis import FunctionFlowResult
+from repro.core.config import MODULAR, AnalysisConfig, condition_name
+from repro.core.engine import FlowEngine
+from repro.errors import ReproError
+from repro.lang.parser import parse_program
+from repro.lang.typeck import check_program
+from repro.mir.callgraph import CallGraph, build_call_graph
+from repro.mir.ir import Body
+from repro.mir.lower import lower_program
+from repro.service.cache import (
+    FingerprintIndex,
+    FunctionRecord,
+    StoreBackedSummaryProvider,
+    SummaryStore,
+    config_cache_key,
+)
+from repro.service.invalidate import InvalidationPlan, apply_invalidation, plan_both_conditions
+from repro.service.scheduler import BatchScheduler
+
+
+class AnalysisSession:
+    """A long-lived, incremental analysis workspace."""
+
+    def __init__(
+        self,
+        store: Optional[SummaryStore] = None,
+        cache_dir: Optional[str] = None,
+        max_entries: int = 4096,
+        local_crate: str = "main",
+        scheduler: Optional[BatchScheduler] = None,
+    ):
+        self.store = store if store is not None else SummaryStore(
+            max_entries=max_entries, disk_dir=cache_dir
+        )
+        self.scheduler = scheduler or BatchScheduler()
+        self.local_crate = local_crate
+        self.generation = 0
+        self.counters: Dict[str, int] = {
+            "analyze_queries": 0,
+            "slice_queries": 0,
+            "ifc_queries": 0,
+            "edits": 0,
+            "memo_hits": 0,
+        }
+        self.last_plans: Optional[Dict[bool, InvalidationPlan]] = None
+        self._units: "OrderedDict[str, str]" = OrderedDict()
+        self._checked = None
+        self._lowered = None
+        self._call_graph: Optional[CallGraph] = None
+        self._fingerprints: Optional[FingerprintIndex] = None
+        self._engines: Dict[str, FlowEngine] = {}
+        # (condition, fn_name, fingerprint) -> FunctionFlowResult; rich objects
+        # for slice/forward queries, keyed by content so edits self-invalidate.
+        self._result_memo: Dict[Tuple[str, str, str], FunctionFlowResult] = {}
+
+    # -- workspace ---------------------------------------------------------------
+
+    @property
+    def source(self) -> str:
+        return "\n".join(self._units.values())
+
+    def unit_names(self) -> List[str]:
+        return list(self._units)
+
+    def open_unit(self, name: str, source: str) -> dict:
+        """Open (or replace — an *edit*) one source unit.
+
+        Workspace changes are transactional: if the new workspace fails to
+        parse/check/lower, the unit map and all derived state are left as
+        they were and the error propagates to the caller.
+        """
+        existed = name in self._units
+        previous = self._units.get(name)
+        self._units[name] = source
+        try:
+            return self._rebuild()
+        except Exception:
+            if existed:
+                self._units[name] = previous
+            else:
+                del self._units[name]
+            raise
+
+    def update_unit(self, name: str, source: str) -> dict:
+        if name not in self._units:
+            raise ReproError(f"no open unit named {name!r}")
+        return self.open_unit(name, source)
+
+    def close_unit(self, name: str) -> dict:
+        if name not in self._units:
+            raise ReproError(f"no open unit named {name!r}")
+        previous = self._units[name]
+        del self._units[name]
+        try:
+            return self._rebuild()
+        except Exception:
+            self._units[name] = previous
+            raise
+
+    def _require_workspace(self) -> None:
+        if self._checked is None:
+            raise ReproError("no sources opened; send an `open` request first")
+
+    def _rebuild(self) -> dict:
+        """Re-derive program state after a workspace change and evict exactly
+        the cache entries the edit can have affected."""
+        old_snapshot = (
+            self._fingerprints.snapshot() if self._fingerprints is not None else {}
+        )
+        old_graph = self._call_graph
+
+        # Derive everything into locals first: if any stage fails, the
+        # session keeps serving the previous workspace generation intact.
+        program = parse_program(self.source, local_crate=self.local_crate)
+        checked = check_program(program)
+        lowered = lower_program(checked)
+        call_graph = build_call_graph(lowered)
+        self._checked = checked
+        self._lowered = lowered
+        self._call_graph = call_graph
+        self._fingerprints = FingerprintIndex(
+            lowered,
+            checked.signatures,
+            program.local_crate,
+            call_graph,
+        )
+        self._engines.clear()
+        self.generation += 1
+
+        new_snapshot = self._fingerprints.snapshot()
+        body_changed: Set[str] = set()
+        sig_changed: Set[str] = set()
+        removed: Set[str] = set(old_snapshot) - set(new_snapshot)
+        for name, (new_sig, new_body) in new_snapshot.items():
+            if name not in old_snapshot:
+                continue
+            old_sig, old_body = old_snapshot[name]
+            if new_sig != old_sig:
+                sig_changed.add(name)
+            elif new_body != old_body:
+                body_changed.add(name)
+
+        evicted_entries = 0
+        plans: Optional[Dict[bool, InvalidationPlan]] = None
+        if old_graph is not None and (body_changed or sig_changed or removed):
+            plans = plan_both_conditions(
+                old_graph,
+                body_changed=body_changed,
+                sig_changed=sig_changed,
+                removed=removed,
+            )
+            for plan in plans.values():
+                evicted_entries += apply_invalidation(self.store, plan)
+                self._purge_memo(plan)
+            self.counters["edits"] += 1
+        self.last_plans = plans
+
+        return {
+            "generation": self.generation,
+            "units": self.unit_names(),
+            "functions": len(self._local_function_names()),
+            "body_changed": sorted(body_changed),
+            "sig_changed": sorted(sig_changed),
+            "removed": sorted(removed),
+            "evicted_entries": evicted_entries,
+            "invalidation": {
+                ("whole_program" if wp else "modular"): plan.to_json_dict()
+                for wp, plan in (plans or {}).items()
+            },
+        }
+
+    def _purge_memo(self, plan: InvalidationPlan) -> None:
+        evicted = set(plan.evict)
+        dead = [
+            key
+            for key in self._result_memo
+            if key[1] in evicted
+            and key[0].startswith(f"wp={int(plan.whole_program)}")
+        ]
+        for key in dead:
+            del self._result_memo[key]
+
+    # -- engines and results -----------------------------------------------------
+
+    def _local_function_names(self) -> List[str]:
+        if self._lowered is None:
+            return []
+        local = self._checked.program.local_crate
+        return sorted(
+            body.fn_name for body in self._lowered.bodies.values() if body.crate == local
+        )
+
+    def engine(self, config: AnalysisConfig) -> FlowEngine:
+        self._require_workspace()
+        key = config_cache_key(config)
+        if key not in self._engines:
+            engine = FlowEngine(self._checked, lowered=self._lowered, config=config)
+            if config.whole_program:
+                engine.set_provider(
+                    StoreBackedSummaryProvider(engine, self.store, self._fingerprints)
+                )
+            self._engines[key] = engine
+        return self._engines[key]
+
+    def _body(self, fn_name: str) -> Body:
+        self._require_workspace()
+        body = self._lowered.body(fn_name)
+        if body is None:
+            raise ReproError(f"no function named {fn_name!r} with a body")
+        return body
+
+    def _result(self, fn_name: str, config: AnalysisConfig) -> Tuple[FunctionFlowResult, bool]:
+        """A full (unserialised) flow result, memoised by content fingerprint."""
+        engine = self.engine(config)
+        fingerprint = self._fingerprints.record_fingerprint(fn_name, config)
+        key = (config_cache_key(config), fn_name, fingerprint)
+        if key in self._result_memo:
+            self.counters["memo_hits"] += 1
+            return self._result_memo[key], True
+        if len(self._result_memo) > 2048:
+            self._result_memo.clear()
+        result = engine.analyze_function(fn_name)
+        self._result_memo[key] = result
+        return result, False
+
+    def _record(self, fn_name: str, config: AnalysisConfig) -> Tuple[FunctionRecord, str]:
+        """The cached record for one function, computing and storing on miss.
+
+        Returns the record plus its cache label (``"hit"``/``"miss"``) — the
+        single path through the store shared by ``analyze`` and ``slice``.
+        """
+        key = self._fingerprints.record_key(fn_name, config)
+        data = self.store.get(key)
+        if data is not None:
+            return FunctionRecord.from_json_dict(data), "hit"
+        result, _ = self._result(fn_name, config)
+        record = FunctionRecord.from_result(result, key.fingerprint, key.condition)
+        self.store.put(key, record.to_json_dict())
+        return record, "miss"
+
+    # -- queries -----------------------------------------------------------------
+
+    def analyze(
+        self, function: Optional[str] = None, config: Optional[AnalysisConfig] = None
+    ) -> dict:
+        """Dependency-set sizes per variable, served from the store when warm."""
+        config = config or MODULAR
+        self.counters["analyze_queries"] += 1
+        engine = self.engine(config)
+        if function is not None:
+            self._body(function)  # raises ReproError for unknown functions
+            names = [function]
+        else:
+            names = engine.local_function_names()
+
+        functions: Dict[str, dict] = {}
+        hits = 0
+        for name in names:
+            record, cache = self._record(name, config)
+            if cache == "hit":
+                hits += 1
+            functions[name] = {
+                "cache": cache,
+                "dependency_sizes": record.dependency_sizes,
+            }
+        return {
+            "condition": condition_name(config),
+            "functions": functions,
+            "cache_hits": hits,
+            "cache_misses": len(names) - hits,
+            "stats": self.store.stats.to_dict(),
+        }
+
+    def slice(
+        self,
+        function: str,
+        variable: str,
+        direction: str = "backward",
+        config: Optional[AnalysisConfig] = None,
+    ) -> dict:
+        """A backward or forward slice, rendered as source line numbers."""
+        if direction not in ("backward", "forward"):
+            raise ReproError(f"unknown slice direction {direction!r}")
+        config = config or MODULAR
+        self.counters["slice_queries"] += 1
+        body = self._body(function)
+
+        if direction == "backward":
+            record, cache = self._record(function, config)
+            try:
+                locations = record.backward_slice_locations(variable)
+            except KeyError:
+                raise ReproError(
+                    f"function {function!r} has no variable {variable!r}"
+                ) from None
+        else:
+            # Forward slices are location-indexed, which the flat record does
+            # not carry; they are served from the in-memory result memo.
+            result, memo_hit = self._result(function, config)
+            locations = sorted(forward_slice_locations(result, variable))
+            cache = "memo-hit" if memo_hit else "miss"
+
+        return {
+            "function": function,
+            "variable": variable,
+            "direction": direction,
+            "condition": condition_name(config),
+            "size": len(locations),
+            "lines": sorted(lines_of_locations(body, locations)),
+            "cache": cache,
+            "stats": self.store.stats.to_dict(),
+        }
+
+    def ifc(
+        self,
+        secret_types: Sequence[str] = (),
+        secret_variables: Sequence[str] = (),
+        sinks: Sequence[str] = (),
+        config: Optional[AnalysisConfig] = None,
+    ) -> dict:
+        """Run the IFC checker over the whole workspace.
+
+        Policies cut across functions, so this query is served by a fresh
+        checker rather than the per-function cache.
+        """
+        self._require_workspace()
+        self.counters["ifc_queries"] += 1
+        policy = IfcPolicy()
+        for type_name in secret_types:
+            policy.mark_type_secret(type_name)
+        for spec in secret_variables:
+            if ":" in spec:
+                fn_name, variable = spec.split(":", 1)
+            else:
+                fn_name, variable = "*", spec
+            policy.secret_variables.add((fn_name, variable))
+        for sink in sinks:
+            policy.mark_function_insecure(sink)
+        checker = IfcChecker(self.source, policy, engine=self.engine(config or MODULAR))
+        violations = checker.check_all()
+        return {
+            "violations": [violation.render() for violation in violations],
+            "count": len(violations),
+            "report": checker.report(),
+        }
+
+    def warm(
+        self, config: Optional[AnalysisConfig] = None, parallel: Optional[bool] = None
+    ) -> dict:
+        """Batch-analyse the whole workspace into the store."""
+        config = config or MODULAR
+        engine = self.engine(config)
+        batch = self.scheduler.run(
+            engine,
+            store=self.store,
+            fingerprints=self._fingerprints,
+            source=self.source,
+            parallel=parallel,
+        )
+        out = batch.to_json_dict()
+        out["condition"] = condition_name(config)
+        out["stats"] = self.store.stats.to_dict()
+        return out
+
+    def stats(self) -> dict:
+        return {
+            "generation": self.generation,
+            "units": self.unit_names(),
+            "functions": len(self._local_function_names()),
+            "store_entries": len(self.store),
+            "stats": self.store.stats.to_dict(),
+            "counters": dict(self.counters),
+            "last_invalidation": {
+                ("whole_program" if wp else "modular"): plan.to_json_dict()
+                for wp, plan in (self.last_plans or {}).items()
+            },
+        }

@@ -1,47 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The reusable sources and construction helpers live in :mod:`helpers`
+(``tests/helpers.py``); test modules import them explicitly, which keeps this
+file fixture-only and avoids the ``conftest``-as-a-module ambiguity between
+``tests/`` and ``benchmarks/``.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import AnalysisConfig
+from helpers import GET_COUNT_SOURCE, HELPER_CALLER_SOURCE
+
 from repro.core.engine import FlowEngine
-from repro.lang.parser import parse_program
-from repro.lang.typeck import check_program
-from repro.mir.lower import lower_program
-
-
-# The paper's Figure 1 example, used across many tests.
-GET_COUNT_SOURCE = """
-struct HashMap;
-
-extern fn contains_key(h: &HashMap, k: u32) -> bool;
-extern fn insert(h: &mut HashMap, k: u32, v: u32);
-extern fn get(h: &HashMap, k: u32) -> u32;
-
-fn get_count(h: &mut HashMap, k: u32) -> u32 {
-    if !contains_key(h, k) {
-        insert(h, k, 0);
-        0
-    } else {
-        get(h, k)
-    }
-}
-"""
-
-# A program exercising Modular vs Whole-program differences: `helper` does
-# not mutate its &mut argument and its result depends only on `y`.
-HELPER_CALLER_SOURCE = """
-fn helper(x: &mut u32, y: u32) -> u32 {
-    y + 1
-}
-
-fn caller(a: u32, b: u32) -> u32 {
-    let mut x = a;
-    let r = helper(&mut x, b);
-    x + r
-}
-"""
 
 
 @pytest.fixture
@@ -52,20 +23,3 @@ def get_count_engine() -> FlowEngine:
 @pytest.fixture
 def helper_caller_engine() -> FlowEngine:
     return FlowEngine.from_source(HELPER_CALLER_SOURCE)
-
-
-def checked_from(source: str):
-    """Parse + type check helper used by many tests."""
-    return check_program(parse_program(source))
-
-
-def lowered_from(source: str):
-    """Parse + check + lower helper used by many tests."""
-    checked = checked_from(source)
-    return checked, lower_program(checked)
-
-
-def analyze(source: str, fn_name: str, config: AnalysisConfig | None = None):
-    """End-to-end helper: analyse one function of a source snippet."""
-    engine = FlowEngine.from_source(source, config=config)
-    return engine.analyze_function(fn_name)

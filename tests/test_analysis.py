@@ -9,7 +9,7 @@ from repro.core.config import AnalysisConfig
 from repro.core.theta import is_arg_location
 from repro.mir.ir import CallTerminator, Place
 
-from conftest import GET_COUNT_SOURCE, analyze
+from helpers import GET_COUNT_SOURCE, analyze
 
 
 def deps_of(result, name):

@@ -5,7 +5,7 @@ import pytest
 from repro.borrowck.checker import check_all_bodies, check_body
 from repro.mir.lower import lower_program
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 def violations_for(source, fn_name):

@@ -2,7 +2,7 @@
 
 from repro.mir.callgraph import build_call_graph, calls_in_body
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 SOURCE = """

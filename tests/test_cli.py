@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import build_parser, main
 
-from conftest import GET_COUNT_SOURCE
+from helpers import GET_COUNT_SOURCE
 
 
 IFC_SOURCE = """

@@ -9,7 +9,7 @@ per-location state reconstruction.
 from repro.dataflow.engine import ForwardAnalysis
 from repro.mir.ir import CallTerminator, Location, StatementKind
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 class DefinedLocalsLattice:

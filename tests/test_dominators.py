@@ -5,7 +5,7 @@ from repro.dataflow.dominators import compute_dominators, compute_post_dominator
 from repro.dataflow.graph import exit_augmented_cfg, forward_cfg, reverse_post_order
 from repro.mir.ir import SwitchBool
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 DIAMOND = """

@@ -7,7 +7,7 @@ from repro.core.config import AnalysisConfig, all_conditions, condition_name
 from repro.core.engine import FlowEngine, analyze_program
 from repro.lang.parser import parse_program
 
-from conftest import GET_COUNT_SOURCE, HELPER_CALLER_SOURCE
+from helpers import GET_COUNT_SOURCE, HELPER_CALLER_SOURCE
 
 
 def test_analyze_source_returns_program_result():

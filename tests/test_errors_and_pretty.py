@@ -17,7 +17,7 @@ from repro.errors import (
 from repro.mir.pretty import pretty_body, pretty_location
 from repro.mir.ir import Location
 
-from conftest import lowered_from, GET_COUNT_SOURCE
+from helpers import lowered_from, GET_COUNT_SOURCE
 
 
 # ---------------------------------------------------------------------------

@@ -181,7 +181,7 @@ def test_render_boundary_and_summary(experiment):
 
 def test_deep_call_graph_program_is_well_formed():
     source = deep_call_graph_program(depth=3, fanout=2)
-    from conftest import lowered_from
+    from helpers import lowered_from
 
     checked, lowered = lowered_from(source)
     assert lowered.body("game_engine_render") is not None

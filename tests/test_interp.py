@@ -5,7 +5,7 @@ import pytest
 from repro.errors import EvalError
 from repro.lang.interp import Interpreter, VBool, VInt, VStruct, VTuple, VUnit, evaluate_function
 
-from conftest import checked_from
+from helpers import checked_from
 
 
 def run(source, fn_name, *args, externs=None):

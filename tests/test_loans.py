@@ -3,7 +3,7 @@
 from repro.borrowck.loans import compute_loans
 from repro.mir.ir import Place, PlaceElem
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 def loans_for(source, fn_name):

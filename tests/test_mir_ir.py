@@ -8,7 +8,7 @@ from repro.mir.ir import (
     ProjectionKind,
 )
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 def place(local, *elems):

@@ -18,7 +18,7 @@ from repro.mir.lower import lower_function, lower_program
 from repro.mir.pretty import pretty_body
 from repro.mir.validate import assert_valid, validate_body
 
-from conftest import checked_from, lowered_from, GET_COUNT_SOURCE
+from helpers import checked_from, lowered_from, GET_COUNT_SOURCE
 
 
 def body_for(source, fn_name):

@@ -23,7 +23,7 @@ from repro.core.oxide import analyze_function_oxide
 from repro.lang.interp import Interpreter, VBool, VInt
 from repro.lang.typeck import CheckedProgram
 
-from conftest import checked_from
+from helpers import checked_from
 
 
 def run_twice_varying(

@@ -3,7 +3,7 @@
 from repro.borrowck.oracle import PreciseAliasOracle, TypeBlindAliasOracle, make_oracle
 from repro.mir.ir import Place
 
-from conftest import lowered_from
+from helpers import lowered_from
 
 
 SOURCE = """

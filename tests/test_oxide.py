@@ -5,7 +5,7 @@ import pytest
 from repro.core.oxide import OxideFlowAnalysis, analyze_function_oxide, place_conflicts
 from repro.errors import AnalysisError
 
-from conftest import checked_from
+from helpers import checked_from
 
 
 def analyze(source, fn_name="f"):

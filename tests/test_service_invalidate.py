@@ -1,0 +1,144 @@
+"""Tests for call-graph-aware invalidation.
+
+The asymmetry asserted here *is* the paper's modularity claim, operationalised:
+a body edit invalidates only the edited function under the modular condition,
+but its whole reverse-call-graph cone under the whole-program condition.
+"""
+
+from __future__ import annotations
+
+from helpers import lowered_from
+
+from repro.core.config import MODULAR, WHOLE_PROGRAM
+from repro.mir.callgraph import build_call_graph
+from repro.service.cache import CacheKey, SummaryStore, config_cache_key
+from repro.service.invalidate import (
+    REASON_EDITED,
+    REASON_SIGNATURE_CALLER,
+    REASON_TRANSITIVE_CALLER,
+    apply_invalidation,
+    plan_both_conditions,
+    plan_invalidation,
+)
+
+
+# Call graph:  main -> update -> compute -> helper
+#              main -> render -> compute
+#              audit (isolated)
+DIAMOND_SOURCE = """
+fn helper(x: u32) -> u32 {
+    x + 1
+}
+
+fn compute(x: u32) -> u32 {
+    helper(x) * 2
+}
+
+fn update(x: u32) -> u32 {
+    compute(x) + 1
+}
+
+fn render(x: u32) -> u32 {
+    compute(x) + 2
+}
+
+fn main_entry(x: u32) -> u32 {
+    update(x) + render(x)
+}
+
+fn audit(x: u32) -> u32 {
+    x * 3
+}
+"""
+
+
+def diamond_graph():
+    _checked, lowered = lowered_from(DIAMOND_SOURCE)
+    return build_call_graph(lowered)
+
+
+class TestReverseEdges:
+    def test_reverse_edges_and_transitive_callers(self):
+        graph = diamond_graph()
+        reverse = graph.reverse_edges()
+        assert reverse["compute"] == {"update", "render"}
+        assert graph.transitive_callers("helper") == {
+            "compute",
+            "update",
+            "render",
+            "main_entry",
+        }
+        assert graph.transitive_callers("audit") == set()
+
+
+class TestPlans:
+    def test_modular_body_edit_invalidates_only_edited_function(self):
+        plan = plan_invalidation(
+            diamond_graph(), body_changed=["helper"], whole_program=False
+        )
+        assert plan.evict == {"helper": REASON_EDITED}
+
+    def test_whole_program_body_edit_invalidates_reverse_cone(self):
+        plan = plan_invalidation(
+            diamond_graph(), body_changed=["helper"], whole_program=True
+        )
+        assert plan.evict == {
+            "helper": REASON_EDITED,
+            "compute": REASON_TRANSITIVE_CALLER,
+            "update": REASON_TRANSITIVE_CALLER,
+            "render": REASON_TRANSITIVE_CALLER,
+            "main_entry": REASON_TRANSITIVE_CALLER,
+        }
+
+    def test_whole_program_edit_of_mid_function_spares_callees(self):
+        plan = plan_invalidation(
+            diamond_graph(), body_changed=["update"], whole_program=True
+        )
+        assert set(plan.evict) == {"update", "main_entry"}
+
+    def test_modular_signature_change_reaches_direct_callers_only(self):
+        plan = plan_invalidation(
+            diamond_graph(), sig_changed=["compute"], whole_program=False
+        )
+        assert plan.evict == {
+            "compute": REASON_EDITED,
+            "update": REASON_SIGNATURE_CALLER,
+            "render": REASON_SIGNATURE_CALLER,
+        }
+
+    def test_removed_function_treated_like_signature_change(self):
+        plan = plan_invalidation(
+            diamond_graph(), removed=["helper"], whole_program=False
+        )
+        assert plan.evict == {
+            "helper": REASON_EDITED,
+            "compute": REASON_SIGNATURE_CALLER,
+        }
+
+    def test_isolated_function_never_collateral(self):
+        for whole_program in (False, True):
+            plan = plan_invalidation(
+                diamond_graph(), body_changed=["helper"], whole_program=whole_program
+            )
+            assert "audit" not in plan.evict
+
+
+class TestApply:
+    def test_apply_respects_condition_family(self):
+        graph = diamond_graph()
+        store = SummaryStore()
+        modular_cond = config_cache_key(MODULAR)
+        whole_cond = config_cache_key(WHOLE_PROGRAM)
+        for fn in ("helper", "compute", "update", "render", "main_entry", "audit"):
+            store.put(CacheKey("record", fn, "fp", modular_cond), {"fn": fn})
+            store.put(CacheKey("record", fn, "fp", whole_cond), {"fn": fn})
+
+        plans = plan_both_conditions(graph, body_changed=["helper"])
+        removed = sum(apply_invalidation(store, plan) for plan in plans.values())
+
+        # Modular family: helper only.  Whole-program family: the full cone.
+        assert removed == 1 + 5
+        assert store.get(CacheKey("record", "helper", "fp", modular_cond)) is None
+        assert store.get(CacheKey("record", "compute", "fp", modular_cond)) is not None
+        assert store.get(CacheKey("record", "compute", "fp", whole_cond)) is None
+        assert store.get(CacheKey("record", "audit", "fp", whole_cond)) is not None

@@ -1,0 +1,137 @@
+"""Tests for the topological batch scheduler."""
+
+from __future__ import annotations
+
+from helpers import lowered_from
+
+from repro.core.config import MODULAR, WHOLE_PROGRAM
+from repro.core.engine import FlowEngine
+from repro.mir.callgraph import build_call_graph
+from repro.service.cache import FingerprintIndex, SummaryStore
+from repro.service.scheduler import BatchScheduler, schedule_waves
+
+
+CHAIN_SOURCE = """
+fn leaf(x: u32) -> u32 {
+    x + 1
+}
+
+fn mid(x: u32) -> u32 {
+    leaf(x) + 2
+}
+
+fn root(x: u32) -> u32 {
+    mid(x) + 3
+}
+
+fn lone(x: u32) -> u32 {
+    x * 5
+}
+"""
+
+CYCLE_SOURCE = """
+fn ping(x: u32) -> u32 {
+    if x > 0 { pong(x - 1) } else { 0 }
+}
+
+fn pong(x: u32) -> u32 {
+    ping(x)
+}
+
+fn top(x: u32) -> u32 {
+    ping(x)
+}
+"""
+
+
+def engine_for(source, config=MODULAR):
+    checked, lowered = lowered_from(source)
+    engine = FlowEngine(checked, lowered=lowered, config=config)
+    fingerprints = FingerprintIndex(
+        lowered, checked.signatures, checked.program.local_crate, build_call_graph(lowered)
+    )
+    return engine, fingerprints
+
+
+class TestScheduleWaves:
+    def test_callees_come_before_callers(self):
+        engine, _ = engine_for(CHAIN_SOURCE)
+        waves = schedule_waves(engine.call_graph, ["root", "mid", "leaf", "lone"])
+        assert waves == [["leaf", "lone"], ["mid"], ["root"]]
+
+    def test_cycle_collapses_into_one_wave(self):
+        engine, _ = engine_for(CYCLE_SOURCE)
+        waves = schedule_waves(engine.call_graph, ["top", "ping", "pong"])
+        assert waves == [["ping", "pong"], ["top"]]
+
+    def test_subset_only_constrained_by_in_batch_deps(self):
+        engine, _ = engine_for(CHAIN_SOURCE)
+        # leaf is not in the batch, so mid has no in-batch dependency.
+        assert schedule_waves(engine.call_graph, ["root", "mid"]) == [["mid"], ["root"]]
+
+
+class TestSerialRuns:
+    def test_serial_run_fills_store_and_second_run_is_cached(self):
+        engine, fingerprints = engine_for(CHAIN_SOURCE)
+        store = SummaryStore()
+        scheduler = BatchScheduler()
+
+        first = scheduler.run(engine, store=store, fingerprints=fingerprints)
+        assert first.mode == "serial"
+        assert sorted(first.records) == ["leaf", "lone", "mid", "root"]
+        assert first.cached == []
+
+        second = scheduler.run(engine, store=store, fingerprints=fingerprints)
+        assert second.computed() == 0
+        assert sorted(second.cached) == ["leaf", "lone", "mid", "root"]
+
+    def test_whole_program_serial_run(self):
+        engine, fingerprints = engine_for(CHAIN_SOURCE, config=WHOLE_PROGRAM)
+        store = SummaryStore()
+        result = BatchScheduler().run(engine, store=store, fingerprints=fingerprints)
+        assert result.computed() == 4
+        sizes = result.records["root"].dependency_sizes
+        assert sizes == engine.analyze_function("root").dependency_sizes()
+
+
+class TestParallelPath:
+    def test_parallel_results_match_serial(self):
+        serial_engine, serial_fp = engine_for(CHAIN_SOURCE)
+        serial = BatchScheduler().run(
+            serial_engine, store=SummaryStore(), fingerprints=serial_fp
+        )
+
+        parallel_engine, parallel_fp = engine_for(CHAIN_SOURCE)
+        scheduler = BatchScheduler(max_workers=2, chunk_size=1)
+        result = scheduler.run(
+            parallel_engine,
+            store=SummaryStore(),
+            fingerprints=parallel_fp,
+            source=CHAIN_SOURCE,
+            parallel=True,
+        )
+        # Environments without working process pools degrade to the serial
+        # fallback; either way the records must be identical.
+        assert result.mode in ("parallel", "serial-fallback")
+        assert sorted(result.records) == sorted(serial.records)
+        for name, record in serial.records.items():
+            assert result.records[name] == record
+
+    def test_forced_parallel_without_source_reports_fallback(self):
+        engine, fingerprints = engine_for(CHAIN_SOURCE)
+        result = BatchScheduler().run(
+            engine, store=SummaryStore(), fingerprints=fingerprints, parallel=True
+        )
+        assert result.mode == "serial-fallback"
+        assert "no source provided" in result.error
+        assert result.computed() == 4
+
+    def test_small_batch_defaults_to_serial(self):
+        engine, fingerprints = engine_for(CHAIN_SOURCE)
+        result = BatchScheduler(parallel_threshold=100).run(
+            engine,
+            store=SummaryStore(),
+            fingerprints=fingerprints,
+            source=CHAIN_SOURCE,
+        )
+        assert result.mode == "serial"

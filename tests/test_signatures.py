@@ -3,7 +3,7 @@
 from repro.lang.types import Mutability
 from repro.borrowck.signatures import summarize_signature
 
-from conftest import checked_from
+from helpers import checked_from
 
 
 def signature_of(source, name):

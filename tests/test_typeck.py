@@ -7,7 +7,7 @@ from repro.lang.parser import parse_program
 from repro.lang.typeck import check_program
 from repro.lang.types import BoolType, Mutability, RefType, StructType, TupleType, U32Type, UnitType
 
-from conftest import checked_from
+from helpers import checked_from
 
 
 def check_err(source):

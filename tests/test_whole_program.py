@@ -4,7 +4,7 @@ from repro.core.config import AnalysisConfig, MODULAR, WHOLE_PROGRAM
 from repro.core.engine import FlowEngine
 from repro.core.theta import is_arg_location
 
-from conftest import HELPER_CALLER_SOURCE
+from helpers import HELPER_CALLER_SOURCE
 
 
 def arg_tags(deps):
