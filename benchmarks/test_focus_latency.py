@@ -1,0 +1,47 @@
+"""Focus engine benchmark: cold vs warm cursor-query latency.
+
+The focus engine's contract is interactive: a cursor query against an
+unchanged function must be a cache lookup, not a dataflow pass.  This
+benchmark drives every named variable of the generated corpus through
+``AnalysisSession.focus`` twice — cold (empty store, tables computed) and
+warm (fresh sessions over the same store, tables deserialised) — and records
+p50/p95 per-query latency for both passes.
+
+Besides the human-readable report, the raw numbers are written to
+``benchmarks/reports/focus_latency.json`` so CI can archive the benchmark
+as a machine-readable artifact and trend it across commits.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_utils import write_report
+
+from repro.core.config import MODULAR, WHOLE_PROGRAM
+from repro.eval.perf import measure_focus_latency, render_focus_latency_report
+
+
+def test_focus_latency_cold_vs_warm(corpus, report_dir):
+    latencies = [
+        measure_focus_latency(corpus=corpus, config=config)
+        for config in (MODULAR, WHOLE_PROGRAM)
+    ]
+    write_report(report_dir, "focus_latency", render_focus_latency_report(latencies))
+
+    json_path = report_dir / "focus_latency.json"
+    json_path.write_text(
+        json.dumps([lat.to_json_dict() for lat in latencies], indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"[benchmark JSON written to {json_path}]")
+
+    for lat in latencies:
+        assert lat.queries > 0
+        # Warm queries skip the dataflow pass entirely; aggregate totals are
+        # robust to scheduler noise where single-query percentiles are not.
+        assert lat.warm_total < lat.cold_total, (
+            f"{lat.condition}: warm focus queries not faster than cold "
+            f"({lat.cold_total:.3f}s -> {lat.warm_total:.3f}s)"
+        )

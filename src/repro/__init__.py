@@ -35,6 +35,9 @@ Package map:
 * :mod:`repro.core` — the information flow analysis itself (the paper's
   contribution) plus the evaluation conditions.
 * :mod:`repro.apps` — the program slicer and IFC checker of Figure 5.
+* :mod:`repro.focus` — the focus engine: cursor resolution, precomputed
+  per-function focus tables, span-precise highlight rendering, and the
+  LSP-lite JSON-RPC frontend (the paper's IDE "focus mode").
 * :mod:`repro.eval` — corpus generation, experiments, statistics, reports.
 * :mod:`repro.service` — the incremental analysis service: content-addressed
   summary cache, call-graph invalidation, batch scheduler, and the
@@ -47,6 +50,8 @@ from repro.core.engine import FlowEngine, ProgramFlowResult, analyze_program, an
 from repro.core.theta import DependencyContext
 from repro.apps.ifc import IfcChecker, IfcPolicy, IfcViolation
 from repro.apps.slicer import ProgramSlicer, Slice, SliceDirection
+from repro.focus.table import FocusEntry, FocusTable
+from repro.focus.resolve import FocusTarget, resolve_cursor
 from repro.lang.parser import parse_crate, parse_program
 from repro.lang.typeck import check_program
 from repro.mir.lower import lower_program
@@ -58,6 +63,9 @@ __all__ = [
     "AnalysisConfig",
     "DependencyContext",
     "FlowEngine",
+    "FocusEntry",
+    "FocusTable",
+    "FocusTarget",
     "FunctionFlowResult",
     "IfcChecker",
     "IfcPolicy",
@@ -76,5 +84,6 @@ __all__ = [
     "parse_crate",
     "parse_program",
     "pretty_body",
+    "resolve_cursor",
     "__version__",
 ]

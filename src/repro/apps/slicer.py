@@ -6,9 +6,12 @@ slice — every instruction that may influence the criterion — or the forward
 slice — every instruction the criterion may influence — and render the
 result against the source text by fading the irrelevant lines.
 
-Because the analysis is modular, slices are per-function and cheap; this is
-exactly the "lightweight slices of just within a given function" use case the
-paper describes.
+Slices are served from per-function :class:`~repro.focus.table.FocusTable`
+tabulations: the first query against a function pays one dataflow pass and
+computes *every* variable's slice in both directions; subsequent queries are
+dictionary lookups.  Because the analysis is modular, tables are
+per-function and cheap; this is exactly the "lightweight slices of just
+within a given function" use case the paper describes.
 """
 
 from __future__ import annotations
@@ -20,7 +23,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.core.config import AnalysisConfig
 from repro.core.engine import FlowEngine
 from repro.core.analysis import FunctionFlowResult
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, QueryError, Span
+from repro.focus.table import FocusEntry, FocusTable
 from repro.mir.ir import Body, Location, Place
 
 
@@ -43,7 +47,14 @@ def lines_of_locations(body: Body, locations: Iterable[Location]) -> FrozenSet[i
 
 
 def forward_slice_locations(result: FunctionFlowResult, variable: str) -> FrozenSet[Location]:
-    """Union of forward slices from every instruction that writes ``variable``."""
+    """Union of forward slices from every instruction that writes ``variable``.
+
+    For parameters — which are never written inside the function — the
+    criterion is the synthetic argument tag the analysis seeded at entry, so
+    a cursor on a parameter still answers "where does this value flow?".
+    """
+    from repro.core.theta import arg_location
+
     local = result.body.local_by_name(variable)
     if local is None:
         raise AnalysisError(
@@ -51,6 +62,9 @@ def forward_slice_locations(result: FunctionFlowResult, variable: str) -> Frozen
         )
     target = Place.from_local(local.index)
     influenced: Set[Location] = set()
+    if local.is_arg:
+        influenced |= result.forward_slice(arg_location(local.index - 1))
+        influenced.discard(arg_location(local.index - 1))
     for location in result.body.locations():
         instruction = result.body.instruction_at(location)
         written = getattr(instruction, "place", None) or getattr(
@@ -70,7 +84,12 @@ class SliceDirection(Enum):
 
 @dataclass
 class Slice:
-    """The result of slicing one function on one criterion."""
+    """The result of slicing one function on one criterion.
+
+    ``relevant_spans`` carries the char-precise ranges the focus table
+    computed; ``relevant_lines`` remains the line-level projection used by
+    the Figure 5a fade rendering.
+    """
 
     fn_name: str
     variable: str
@@ -78,9 +97,16 @@ class Slice:
     locations: FrozenSet[Location]
     relevant_lines: FrozenSet[int]
     criterion_lines: FrozenSet[int]
+    relevant_spans: Tuple[Span, ...] = ()
 
     def contains_line(self, line: int) -> bool:
         return line in self.relevant_lines
+
+    def contains_position(self, line: int, col: int) -> bool:
+        """Char-precise membership (falls back to lines when spans absent)."""
+        if self.relevant_spans:
+            return any(span.contains(line, col) for span in self.relevant_spans)
+        return self.contains_line(line)
 
     def size(self) -> int:
         return len(self.locations)
@@ -93,6 +119,7 @@ class ProgramSlicer:
         self.source = source
         self.engine = FlowEngine.from_source(source, config=config)
         self._results: Dict[str, FunctionFlowResult] = {}
+        self._tables: Dict[str, FocusTable] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -100,6 +127,18 @@ class ProgramSlicer:
         if fn_name not in self._results:
             self._results[fn_name] = self.engine.analyze_function(fn_name)
         return self._results[fn_name]
+
+    def _table(self, fn_name: str) -> FocusTable:
+        """The function's focus table, built once per slicer."""
+        if fn_name not in self._tables:
+            self._tables[fn_name] = FocusTable.build(self._result(fn_name))
+        return self._tables[fn_name]
+
+    def _entry(self, fn_name: str, variable: str) -> FocusEntry:
+        try:
+            return self._table(fn_name).entry_for_variable(variable)
+        except QueryError as error:
+            raise AnalysisError(str(error)) from None
 
     def _lines_of_locations(
         self, result: FunctionFlowResult, locations: FrozenSet[Location]
@@ -117,7 +156,8 @@ class ProgramSlicer:
     def backward_slice(self, fn_name: str, variable: str) -> Slice:
         """All code that may influence the final value of ``variable``."""
         result = self._result(fn_name)
-        locations = result.backward_slice_of_variable(variable)
+        entry = self._entry(fn_name, variable)
+        locations = frozenset(entry.backward)
         return Slice(
             fn_name=fn_name,
             variable=variable,
@@ -125,6 +165,7 @@ class ProgramSlicer:
             locations=locations,
             relevant_lines=self._lines_of_locations(result, locations),
             criterion_lines=self._variable_definition_lines(result, variable),
+            relevant_spans=entry.backward_spans,
         )
 
     def forward_slice(self, fn_name: str, variable: str) -> Slice:
@@ -134,7 +175,8 @@ class ProgramSlicer:
         variable; the forward slice is the union of their forward slices.
         """
         result = self._result(fn_name)
-        influenced = forward_slice_locations(result, variable)
+        entry = self._entry(fn_name, variable)
+        influenced = frozenset(entry.forward)
         return Slice(
             fn_name=fn_name,
             variable=variable,
@@ -142,6 +184,7 @@ class ProgramSlicer:
             locations=influenced,
             relevant_lines=self._lines_of_locations(result, influenced),
             criterion_lines=self._variable_definition_lines(result, variable),
+            relevant_spans=entry.forward_spans,
         )
 
     # -- rendering ----------------------------------------------------------------------

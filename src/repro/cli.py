@@ -12,10 +12,14 @@ extension) with a small set of subcommands over MiniRust source files:
 * ``repro corpus [--scale S] [--crate NAME]`` — generate the evaluation corpus,
 * ``repro experiment [--scale S]`` — run the Section 5 experiment and print
   the headline comparison,
+* ``repro focus FILE --line L --col C [--direction fwd|bwd|both]`` — resolve a
+  cursor to its enclosing place and print span-precise forward/backward
+  information-flow highlights (the paper's IDE "focus mode"),
 * ``repro serve [FILE]`` — run the incremental analysis service: line-delimited
-  JSON requests on stdin (or ``--input``), one JSON response per line,
-* ``repro query FILE`` — one-shot service query (``analyze``/``slice``/``ifc``/
-  ``stats``); ``--repeat`` demonstrates warm-cache hits.
+  JSON requests on stdin (or ``--input``), one JSON response per line;
+  ``--jsonrpc`` speaks the LSP-lite JSON-RPC dialect instead,
+* ``repro query FILE`` — one-shot service query (``analyze``/``slice``/
+  ``focus``/``ifc``/``stats``); ``--repeat`` demonstrates warm-cache hits.
 
 The CLI is intentionally thin: every subcommand is a few lines over the
 public library API, and each handler returns an exit code so it can be tested
@@ -90,6 +94,24 @@ def build_parser() -> argparse.ArgumentParser:
     slice_cmd.add_argument("--forward", action="store_true", help="forward slice")
     _add_condition_flags(slice_cmd)
 
+    focus = sub.add_parser(
+        "focus", help="cursor-driven span-precise slicing (IDE focus mode)"
+    )
+    focus.add_argument("file")
+    focus.add_argument("--line", type=int, help="1-based cursor line")
+    focus.add_argument("--col", type=int, help="1-based cursor column")
+    focus.add_argument("--function", help="query by name instead of cursor")
+    focus.add_argument("--variable", help="query by name instead of cursor")
+    focus.add_argument(
+        "--direction",
+        default="both",
+        choices=["fwd", "bwd", "both", "forward", "backward"],
+        help="which flow direction to highlight",
+    )
+    focus.add_argument("--json", action="store_true", help="print the raw response")
+    focus.add_argument("--color", action="store_true", help="ANSI highlights")
+    _add_condition_flags(focus)
+
     ifc = sub.add_parser("ifc", help="check information flow policies")
     ifc.add_argument("file")
     ifc.add_argument("--secret-type", action="append", default=[], dest="secret_types")
@@ -117,14 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="in-memory LRU capacity of the summary store")
     serve_cmd.add_argument("--input",
                            help="read requests from this file instead of stdin")
+    serve_cmd.add_argument("--jsonrpc", action="store_true",
+                           help="speak LSP-lite JSON-RPC 2.0 instead of the NDJSON protocol")
 
     query = sub.add_parser("query", help="one-shot query against the analysis service")
     query.add_argument("file")
     query.add_argument("--method", default="analyze",
-                       choices=["analyze", "slice", "ifc", "warm", "stats"])
-    query.add_argument("--function", help="restrict analyze / target slice")
-    query.add_argument("--variable", help="slice criterion variable")
+                       choices=["analyze", "slice", "focus", "ifc", "warm", "stats"])
+    query.add_argument("--function", help="restrict analyze / target slice or focus")
+    query.add_argument("--variable", help="slice/focus criterion variable")
     query.add_argument("--forward", action="store_true", help="forward slice")
+    query.add_argument("--line", type=int, help="focus cursor line (1-based)")
+    query.add_argument("--col", type=int, help="focus cursor column (1-based)")
     query.add_argument("--secret-type", action="append", default=[], dest="secret_types")
     query.add_argument("--sink", action="append", default=[], dest="sinks")
     query.add_argument("--local-crate", default="main")
@@ -184,6 +210,39 @@ def cmd_slice(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_DIRECTION_ALIASES = {"fwd": "forward", "bwd": "backward"}
+
+
+def cmd_focus(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.focus.render import render_focus_response
+    from repro.service.session import AnalysisSession
+
+    by_cursor = args.line is not None and args.col is not None
+    by_name = args.function is not None and args.variable is not None
+    if not by_cursor and not by_name:
+        raise ReproError("`focus` needs --line and --col, or --function and --variable")
+
+    source = _read_source(args.file)
+    session = AnalysisSession()
+    session.open_unit("main", source)
+    direction = _DIRECTION_ALIASES.get(args.direction, args.direction)
+    response = session.focus(
+        line=args.line if by_cursor else None,
+        col=args.col if by_cursor else None,
+        function=args.function if by_name else None,
+        variable=args.variable if by_name else None,
+        direction=direction,
+        config=_config_from_args(args),
+    )
+    if args.json:
+        out.write(json.dumps(response, sort_keys=True) + "\n")
+    else:
+        out.write(render_focus_response(source, response, color=args.color) + "\n")
+    return 0
+
+
 def cmd_ifc(args: argparse.Namespace, out) -> int:
     policy = IfcPolicy()
     for type_name in args.secret_types:
@@ -231,6 +290,7 @@ def cmd_experiment(args: argparse.Namespace, out) -> int:
 
 
 def cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.focus.server import serve_jsonrpc
     from repro.service.protocol import serve
     from repro.service.session import AnalysisSession
 
@@ -241,10 +301,11 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     )
     if args.file is not None:
         session.open_unit("main", _read_source(args.file))
+    loop = serve_jsonrpc if args.jsonrpc else serve
     if args.input is not None:
         with open(args.input, "r", encoding="utf-8") as in_stream:
-            return serve(in_stream, out, session)
-    return serve(sys.stdin, out, session)
+            return loop(in_stream, out, session)
+    return loop(sys.stdin, out, session)
 
 
 def cmd_query(args: argparse.Namespace, out) -> int:
@@ -274,6 +335,15 @@ def cmd_query(args: argparse.Namespace, out) -> int:
             variable=args.variable,
             direction="forward" if args.forward else "backward",
         )
+    elif args.method == "focus":
+        if args.line is not None and args.col is not None:
+            params.update(line=args.line, col=args.col)
+        elif args.function and args.variable:
+            params.update(function=args.function, variable=args.variable)
+        else:
+            raise ReproError(
+                "`query --method focus` needs --line and --col, or --function and --variable"
+            )
     elif args.method == "ifc":
         params.update(secret_types=args.secret_types, sinks=args.sinks)
     elif args.method == "stats":
@@ -291,6 +361,7 @@ _HANDLERS = {
     "mir": cmd_mir,
     "analyze": cmd_analyze,
     "slice": cmd_slice,
+    "focus": cmd_focus,
     "ifc": cmd_ifc,
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,

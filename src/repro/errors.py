@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,57 @@ class Span:
     def contains_line(self, line: int) -> bool:
         """True when ``line`` is covered by this span."""
         return self.start_line <= line <= self.end_line
+
+    def contains(self, line: int, col: int) -> bool:
+        """Whether a 1-based cursor position falls inside this span.
+
+        Spans are half-open in columns (``end_col`` is the column *after* the
+        last character, matching the lexer), so a cursor sitting on the first
+        character of a token hits it and one sitting just past it does not.
+        Dummy spans contain nothing.
+        """
+        if self.is_dummy():
+            return False
+        return (self.start_line, self.start_col) <= (line, col) < (self.end_line, self.end_col)
+
+    def contains_span(self, other: "Span") -> bool:
+        """Whether ``other`` lies entirely within this span."""
+        if self.is_dummy() or other.is_dummy():
+            return False
+        return (
+            (self.start_line, self.start_col) <= (other.start_line, other.start_col)
+            and (other.end_line, other.end_col) <= (self.end_line, self.end_col)
+        )
+
+    def tightness(self) -> Tuple[int, int]:
+        """An ordering key for "how small is this span": (lines, columns).
+
+        Used to pick the *innermost* of several spans containing a cursor —
+        the one covering the fewest lines, breaking ties on column width.
+        """
+        return (
+            self.end_line - self.start_line,
+            (self.end_col - self.start_col) if self.end_line == self.start_line else self.end_col,
+        )
+
+    def end_point(self) -> "Span":
+        """A minimal span at this span's closing position (its last column).
+
+        Used to give synthetic control-flow instructions (the function's
+        return block, gotos out of a block) a real position — the closing
+        brace — without claiming the whole construct as their source range.
+        """
+        if self.is_dummy():
+            return self
+        return Span(self.end_line, max(1, self.end_col - 1), self.end_line, self.end_col)
+
+    def to_tuple(self) -> Tuple[int, int, int, int]:
+        """The JSON-friendly ``[start_line, start_col, end_line, end_col]``."""
+        return (self.start_line, self.start_col, self.end_line, self.end_col)
+
+    @staticmethod
+    def from_tuple(data) -> "Span":
+        return Span(int(data[0]), int(data[1]), int(data[2]), int(data[3]))
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         if self.is_dummy():
@@ -160,6 +211,31 @@ class AnalysisError(ReproError):
 
     def __init__(self, message: str, span: Span = DUMMY_SPAN):
         super().__init__(message)
+        self.span = span
+        self.diagnostic = Diagnostic(Severity.ERROR, message, span)
+
+
+class QueryError(ReproError):
+    """A service query failed in a way clients can dispatch on.
+
+    Carries a stable machine-readable ``code`` (``unknown_function``,
+    ``unknown_variable``, ``position_out_of_range``, ...) alongside the
+    human-readable message, so protocol layers can return typed errors
+    instead of opaque failure strings.
+    """
+
+    # Stable error codes; protocol responses surface these verbatim.
+    UNKNOWN_FUNCTION = "unknown_function"
+    UNKNOWN_VARIABLE = "unknown_variable"
+    UNKNOWN_UNIT = "unknown_unit"
+    NO_WORKSPACE = "no_workspace"
+    POSITION_OUT_OF_RANGE = "position_out_of_range"
+    NO_PLACE_AT_POSITION = "no_place_at_position"
+    INVALID_PARAMS = "invalid_params"
+
+    def __init__(self, message: str, code: str = "query_error", span: Span = DUMMY_SPAN):
+        super().__init__(message)
+        self.code = code
         self.span = span
         self.diagnostic = Diagnostic(Severity.ERROR, message, span)
 

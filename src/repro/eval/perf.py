@@ -209,6 +209,124 @@ def render_warm_cold_report(comparisons: Sequence[WarmColdComparison]) -> str:
     return "\n".join(lines)
 
 
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` (nearest-rank, 0 ≤ f ≤ 1)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class FocusLatency:
+    """Cold vs warm focus-query latency over a corpus of cursor positions.
+
+    Each query resolves a variable's focus entry through the session's
+    cached focus table: the cold pass pays one dataflow tabulation per
+    function, the warm pass (fresh sessions over the same store) serves
+    every table from cache — the interactive-IDE workload the focus engine
+    exists for.
+    """
+
+    condition: str
+    queries: int
+    cold_seconds: List[float]
+    warm_seconds: List[float]
+
+    @property
+    def cold_total(self) -> float:
+        return sum(self.cold_seconds)
+
+    @property
+    def warm_total(self) -> float:
+        return sum(self.warm_seconds)
+
+    @property
+    def speedup(self) -> float:
+        if self.warm_total <= 0:
+            return float("inf")
+        return self.cold_total / self.warm_total
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "condition": self.condition,
+            "queries": self.queries,
+            "cold_ms": {
+                "p50": round(percentile(self.cold_seconds, 0.50) * 1e3, 4),
+                "p95": round(percentile(self.cold_seconds, 0.95) * 1e3, 4),
+                "total": round(self.cold_total * 1e3, 2),
+            },
+            "warm_ms": {
+                "p50": round(percentile(self.warm_seconds, 0.50) * 1e3, 4),
+                "p95": round(percentile(self.warm_seconds, 0.95) * 1e3, 4),
+                "total": round(self.warm_total * 1e3, 2),
+            },
+            "speedup": round(self.speedup, 1),
+        }
+
+
+def measure_focus_latency(
+    corpus: Optional[Sequence[GeneratedCrate]] = None,
+    config: AnalysisConfig = MODULAR,
+    scale: float = 0.15,
+    store=None,
+    max_queries_per_function: int = 3,
+) -> FocusLatency:
+    """Measure per-query focus latency cold (empty store) and warm (cached).
+
+    Cursor targets are every named local of every corpus function (capped
+    per function), queried through :meth:`AnalysisSession.focus`.  The warm
+    pass uses fresh sessions over the same store, so the speedup measures
+    the focus-table cache specifically, not in-process memoisation.
+    """
+    from repro.eval.corpus import generate_corpus
+    from repro.service.cache import SummaryStore
+    from repro.service.session import AnalysisSession
+
+    if corpus is None:
+        corpus = generate_corpus(scale=scale)
+    if store is None:
+        store = SummaryStore(max_entries=1 << 16)
+
+    def one_pass() -> List[float]:
+        latencies: List[float] = []
+        for crate in corpus:
+            session = AnalysisSession(store=store, local_crate=crate.name)
+            session.open_unit(crate.name, crate.source)
+            for fn_name in session.function_names():
+                targets = session.variables_of(fn_name)[:max_queries_per_function]
+                for variable in targets:
+                    start = time.perf_counter()
+                    session.focus(function=fn_name, variable=variable, config=config)
+                    latencies.append(time.perf_counter() - start)
+        return latencies
+
+    cold = one_pass()
+    warm = one_pass()
+    return FocusLatency(
+        condition=config.name,
+        queries=len(cold),
+        cold_seconds=cold,
+        warm_seconds=warm,
+    )
+
+
+def render_focus_latency_report(latencies: Sequence[FocusLatency]) -> str:
+    """Text report of the focus engine's cold-vs-warm latency benchmark."""
+    lines = ["Focus engine: cold vs warm cursor-query latency:", ""]
+    for lat in latencies:
+        row = lat.to_json_dict()
+        cold, warm = row["cold_ms"], row["warm_ms"]
+        lines.append(
+            f"  {lat.condition:<16} {lat.queries:4d} queries: "
+            f"cold p50 {cold['p50']:7.3f} ms / p95 {cold['p95']:7.3f} ms -> "
+            f"warm p50 {warm['p50']:7.3f} ms / p95 {warm['p95']:7.3f} ms "
+            f"(speedup {row['speedup']}x)"
+        )
+    return "\n".join(lines)
+
+
 def render_perf_report(
     runs: Sequence[ConditionRun], deep: Optional[PerfComparison] = None
 ) -> str:

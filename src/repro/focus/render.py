@@ -1,0 +1,150 @@
+"""Terminal rendering of focus highlights.
+
+Renders a focus result the way the paper's VSCode extension draws it (Figure
+5): the enclosing function's source, with the cursor's place underlined and
+every span it flows to/from marked.  Two modes:
+
+* **marker mode** (default, no escape codes): each highlighted line is
+  followed by a gutter line carrying ``^`` under the seed, ``<`` under
+  backward-slice characters, ``>`` under forward-slice characters and ``=``
+  where both directions overlap — stable output for tests and pipes.
+* **ANSI mode**: inverse-video seed, colored spans, for interactive use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import Span
+
+
+SEED_MARK = "^"
+BACKWARD_MARK = "<"
+FORWARD_MARK = ">"
+BOTH_MARK = "="
+
+_ANSI_RESET = "\x1b[0m"
+_ANSI_SEED = "\x1b[7m"        # inverse video
+_ANSI_BACKWARD = "\x1b[36m"   # cyan
+_ANSI_FORWARD = "\x1b[32m"    # green
+_ANSI_BOTH = "\x1b[33m"       # yellow
+
+
+def _columns_of(span: Span, line_no: int, line_len: int) -> range:
+    """The 0-based column range ``span`` covers on ``line_no``."""
+    if span.is_dummy() or not span.contains_line(line_no):
+        return range(0)
+    start = span.start_col - 1 if span.start_line == line_no else 0
+    end = span.end_col - 1 if span.end_line == line_no else line_len
+    return range(max(0, start), max(0, min(end, line_len)))
+
+
+def _mark_line(
+    line_no: int,
+    text: str,
+    seed: Optional[Span],
+    backward: Sequence[Span],
+    forward: Sequence[Span],
+) -> Optional[str]:
+    """The marker gutter for one source line, or ``None`` when unmarked."""
+    marks: List[str] = [" "] * len(text)
+
+    def apply(spans: Iterable[Span], mark: str) -> None:
+        for span in spans:
+            for col in _columns_of(span, line_no, len(text)):
+                if marks[col] == " ":
+                    marks[col] = mark
+                elif marks[col] != mark and marks[col] != SEED_MARK:
+                    marks[col] = BOTH_MARK
+
+    apply(backward, BACKWARD_MARK)
+    apply(forward, FORWARD_MARK)
+    if seed is not None:
+        for col in _columns_of(seed, line_no, len(text)):
+            marks[col] = SEED_MARK
+    gutter = "".join(marks).rstrip()
+    return gutter if gutter else None
+
+
+def render_focus_markers(
+    source: str,
+    seed: Optional[Span],
+    backward: Sequence[Span] = (),
+    forward: Sequence[Span] = (),
+    window: Optional[Span] = None,
+) -> str:
+    """Marker-mode rendering of a focus result against ``source``.
+
+    ``window`` restricts output to the enclosing function's lines (plus the
+    marker gutters); without it the whole source is rendered.
+    """
+    out: List[str] = []
+    for line_no, text in enumerate(source.splitlines(), start=1):
+        if window is not None and not window.contains_line(line_no):
+            continue
+        out.append(f"{line_no:4d} | {text}")
+        gutter = _mark_line(line_no, text, seed, backward, forward)
+        if gutter is not None:
+            out.append(f"     | {gutter}")
+    return "\n".join(out)
+
+
+def render_focus_ansi(
+    source: str,
+    seed: Optional[Span],
+    backward: Sequence[Span] = (),
+    forward: Sequence[Span] = (),
+    window: Optional[Span] = None,
+) -> str:
+    """ANSI-colored rendering of a focus result against ``source``."""
+    out: List[str] = []
+    for line_no, text in enumerate(source.splitlines(), start=1):
+        if window is not None and not window.contains_line(line_no):
+            continue
+        codes: Dict[int, str] = {}
+        for spans, code in (
+            (backward, _ANSI_BACKWARD),
+            (forward, _ANSI_FORWARD),
+        ):
+            for span in spans:
+                for col in _columns_of(span, line_no, len(text)):
+                    codes[col] = _ANSI_BOTH if codes.get(col, code) != code else code
+        if seed is not None:
+            for col in _columns_of(seed, line_no, len(text)):
+                codes[col] = _ANSI_SEED
+        rendered: List[str] = [f"{line_no:4d} | "]
+        active: Optional[str] = None
+        for col, ch in enumerate(text):
+            code = codes.get(col)
+            if code != active:
+                if active is not None:
+                    rendered.append(_ANSI_RESET)
+                if code is not None:
+                    rendered.append(code)
+                active = code
+            rendered.append(ch)
+        if active is not None:
+            rendered.append(_ANSI_RESET)
+        out.append("".join(rendered))
+    return "\n".join(out)
+
+
+def render_focus_response(source: str, response: dict, color: bool = False) -> str:
+    """Render a service ``focus`` response dict (spans as 4-tuples)."""
+    seed_data = response.get("seed_span") or response.get("defining_span")
+    seed = Span.from_tuple(seed_data) if seed_data else None
+    backward = tuple(
+        Span.from_tuple(item) for item in response.get("backward", {}).get("spans", [])
+    )
+    forward = tuple(
+        Span.from_tuple(item) for item in response.get("forward", {}).get("spans", [])
+    )
+    window_data = response.get("function_span")
+    window = Span.from_tuple(window_data) if window_data else None
+    renderer = render_focus_ansi if color else render_focus_markers
+    header = (
+        f"// focus on `{response.get('target', '?')}` in {response.get('function', '?')}"
+        f" ({response.get('condition', '')}):"
+        f" {len(backward)} backward span(s), {len(forward)} forward span(s)"
+    )
+    return header + "\n" + renderer(source, seed, backward, forward, window)

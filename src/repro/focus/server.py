@@ -1,0 +1,266 @@
+"""LSP-lite JSON-RPC 2.0 frontend for the focus engine.
+
+Speaks the editor-facing dialect of the analysis service: JSON-RPC 2.0
+messages, one per line (NDJSON framing — the LSP ``Content-Length`` header
+layer is deliberately omitted so the server can be driven from shell pipes
+and tests), with LSP-shaped parameters: documents are opened/edited through
+``textDocument/didOpen`` / ``didChange`` notifications, and focus queries use
+LSP's 0-based ``position`` convention.
+
+Methods:
+
+* ``initialize`` / ``shutdown`` / ``exit`` — lifecycle,
+* ``textDocument/didOpen`` / ``didChange`` / ``didClose`` — full-text
+  document sync onto :class:`~repro.service.session.AnalysisSession` units,
+* ``repro/focus`` — cursor focus query; returns LSP-style ranges,
+* ``repro/stats`` — cache/session counters.
+
+Failures map to JSON-RPC error objects; application errors carry the typed
+service code (``unknown_function``, ``position_out_of_range``, ...) under
+``error.data.code``, so editors can dispatch without parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Optional
+
+from repro.errors import QueryError, ReproError, Span
+from repro.service.session import AnalysisSession
+
+
+# JSON-RPC 2.0 well-known codes.
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+SERVER_ERROR = -32000
+
+
+def span_to_range(span: Span) -> dict:
+    """Our 1-based half-open span as an LSP 0-based ``Range``."""
+    return {
+        "start": {"line": span.start_line - 1, "character": span.start_col - 1},
+        "end": {"line": span.end_line - 1, "character": span.end_col - 1},
+    }
+
+
+def _spans_to_ranges(spans) -> list:
+    return [span_to_range(Span.from_tuple(item)) for item in spans]
+
+
+class FocusServer:
+    """Dispatches JSON-RPC requests onto one analysis session."""
+
+    def __init__(self, session: Optional[AnalysisSession] = None):
+        self.session = session or AnalysisSession()
+        self.initialized = False
+        self.shutdown_requested = False
+        self.exit_requested = False
+
+    # -- framing -----------------------------------------------------------------
+
+    def handle_line(self, line: str) -> Optional[dict]:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as error:
+            return self._error(None, PARSE_ERROR, f"invalid JSON: {error}")
+        if not isinstance(message, dict):
+            return self._error(None, INVALID_REQUEST, "message must be a JSON object")
+        return self.handle(message)
+
+    def handle(self, message: dict) -> Optional[dict]:
+        """Handle one message; notifications (no ``id``) return ``None``."""
+        msg_id = message.get("id")
+        is_notification = "id" not in message
+        method = message.get("method")
+        if not isinstance(method, str):
+            return None if is_notification else self._error(
+                msg_id, INVALID_REQUEST, "missing `method`"
+            )
+        handler = self._HANDLERS.get(method)
+        if handler is None:
+            # Unknown notifications are ignored per the LSP contract.
+            return None if is_notification else self._error(
+                msg_id, METHOD_NOT_FOUND, f"unknown method {method!r}"
+            )
+        params = message.get("params", {})
+        if not isinstance(params, dict):
+            return None if is_notification else self._error(
+                msg_id, INVALID_PARAMS, "`params` must be an object"
+            )
+        try:
+            result = handler(self, params)
+        except QueryError as error:
+            return None if is_notification else self._error(
+                msg_id, SERVER_ERROR, str(error), data={"code": error.code}
+            )
+        except ReproError as error:
+            return None if is_notification else self._error(
+                msg_id, SERVER_ERROR, str(error), data={"code": "repro_error"}
+            )
+        except Exception as error:  # the loop survives anything a query throws
+            return None if is_notification else self._error(
+                msg_id,
+                SERVER_ERROR,
+                f"internal error: {type(error).__name__}: {error}",
+                data={"code": "internal_error"},
+            )
+        if is_notification:
+            return None
+        return {"jsonrpc": "2.0", "id": msg_id, "result": result}
+
+    @staticmethod
+    def _error(msg_id, code: int, message: str, data: Optional[dict] = None) -> dict:
+        error: Dict[str, Any] = {"code": code, "message": message}
+        if data is not None:
+            error["data"] = data
+        return {"jsonrpc": "2.0", "id": msg_id, "error": error}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _method_initialize(self, params: dict) -> dict:
+        self.initialized = True
+        return {
+            "capabilities": {
+                "textDocumentSync": {"openClose": True, "change": 1},  # 1 = full
+                "reproFocusProvider": True,
+            },
+            "serverInfo": {"name": "repro-focus", "version": "1"},
+        }
+
+    def _method_initialized(self, params: dict) -> None:
+        return None
+
+    def _method_shutdown(self, params: dict) -> None:
+        self.shutdown_requested = True
+        return None
+
+    def _method_exit(self, params: dict) -> None:
+        self.exit_requested = True
+        return None
+
+    # -- document sync ------------------------------------------------------------
+
+    @staticmethod
+    def _document_uri(params: dict) -> str:
+        doc = params.get("textDocument")
+        if not isinstance(doc, dict) or not isinstance(doc.get("uri"), str):
+            raise QueryError(
+                "params.textDocument.uri is required",
+                code=QueryError.INVALID_PARAMS,
+            )
+        return doc["uri"]
+
+    def _method_did_open(self, params: dict) -> None:
+        uri = self._document_uri(params)
+        text = params.get("textDocument", {}).get("text")
+        if not isinstance(text, str):
+            raise QueryError(
+                "textDocument/didOpen needs textDocument.text",
+                code=QueryError.INVALID_PARAMS,
+            )
+        self.session.open_unit(uri, text)
+        return None
+
+    def _method_did_change(self, params: dict) -> None:
+        uri = self._document_uri(params)
+        changes = params.get("contentChanges")
+        if not isinstance(changes, list) or not changes or "text" not in changes[-1]:
+            raise QueryError(
+                "textDocument/didChange needs full-text contentChanges",
+                code=QueryError.INVALID_PARAMS,
+            )
+        self.session.update_unit(uri, str(changes[-1]["text"]))
+        return None
+
+    def _method_did_close(self, params: dict) -> None:
+        self.session.close_unit(self._document_uri(params))
+        return None
+
+    # -- queries ------------------------------------------------------------------
+
+    def _method_focus(self, params: dict) -> dict:
+        position = params.get("position")
+        if not isinstance(position, dict):
+            raise QueryError(
+                "repro/focus needs a `position` object",
+                code=QueryError.INVALID_PARAMS,
+            )
+        try:
+            line = int(position["line"]) + 1
+            col = int(position["character"]) + 1
+        except (KeyError, TypeError, ValueError):
+            raise QueryError(
+                "position needs integer `line` and `character` (0-based)",
+                code=QueryError.INVALID_PARAMS,
+            ) from None
+        # Positions (and the ranges in the response) are relative to the
+        # addressed document, as in LSP; without a textDocument the query is
+        # interpreted against the joined workspace.
+        doc = params.get("textDocument")
+        unit = doc.get("uri") if isinstance(doc, dict) else None
+        direction = str(params.get("direction", "both"))
+        response = self.session.focus(
+            line=line,
+            col=col,
+            direction=direction,
+            unit=str(unit) if unit is not None else None,
+        )
+        return self._lsp_focus_result(response)
+
+    @staticmethod
+    def _lsp_focus_result(response: dict) -> dict:
+        out = {
+            "function": response["function"],
+            "target": response["target"],
+            "condition": response["condition"],
+            "cache": response.get("cache"),
+            "seedRange": span_to_range(Span.from_tuple(response["seed_span"]))
+            if response.get("seed_span")
+            else None,
+            "definingRange": span_to_range(Span.from_tuple(response["defining_span"]))
+            if response.get("defining_span")
+            else None,
+        }
+        if "backward" in response:
+            out["backward"] = _spans_to_ranges(response["backward"]["spans"])
+        if "forward" in response:
+            out["forward"] = _spans_to_ranges(response["forward"]["spans"])
+        return out
+
+    def _method_stats(self, params: dict) -> dict:
+        return self.session.stats()
+
+    _HANDLERS = {
+        "initialize": _method_initialize,
+        "initialized": _method_initialized,
+        "shutdown": _method_shutdown,
+        "exit": _method_exit,
+        "textDocument/didOpen": _method_did_open,
+        "textDocument/didChange": _method_did_change,
+        "textDocument/didClose": _method_did_close,
+        "repro/focus": _method_focus,
+        "repro/stats": _method_stats,
+    }
+
+
+def serve_jsonrpc(
+    in_stream: IO[str], out_stream: IO[str], session: Optional[AnalysisSession] = None
+) -> int:
+    """Run the JSON-RPC loop until EOF or an ``exit`` notification."""
+    server = FocusServer(session)
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        response = server.handle_line(line)
+        if response is not None:
+            out_stream.write(json.dumps(response, sort_keys=True) + "\n")
+            try:
+                out_stream.flush()
+            except (AttributeError, OSError):
+                pass
+        if server.exit_requested:
+            break
+    return 0

@@ -1,0 +1,297 @@
+"""Precomputed focus tables: every place's slices from one dataflow pass.
+
+The paper's key systems observation is that the dataflow fixpoint already
+computes the dependencies of **all** places at once — answering a focus query
+per-cursor by re-running the analysis would throw that away.  A
+:class:`FocusTable` materialises the all-places view: after a single
+:class:`~repro.core.analysis.FunctionFlowResult` is available, one pass over
+the body inverts the "written place depends on ℓ" relation into a forward
+influence map, and every direct place's backward and forward slice (as
+locations *and* as normalised source spans) is tabulated.
+
+Tables are plain JSON-serialisable values, so the analysis service caches
+them in the content-addressed :class:`~repro.service.cache.SummaryStore`
+keyed by the function's fingerprint: a warm focus query is a dictionary
+lookup, and an edit invalidates tables through the same call-graph plan as
+every other cached result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.analysis import FunctionFlowResult
+from repro.core.theta import arg_location, is_arg_location
+from repro.errors import QueryError, Span
+from repro.focus.spans import (
+    lines_of_spans,
+    location_span,
+    normalize_spans,
+    spans_from_json,
+    spans_to_json,
+)
+from repro.mir.ir import (
+    Body,
+    CallTerminator,
+    Location,
+    Place,
+    PlaceElem,
+    ProjectionKind,
+    Statement,
+    StatementKind,
+)
+
+
+def _place_to_json(place: Place) -> List:
+    return [
+        place.local,
+        [[elem.kind.value, elem.index] for elem in place.projection],
+    ]
+
+
+def _place_from_json(data) -> Place:
+    local = int(data[0])
+    projection = tuple(
+        PlaceElem(ProjectionKind(str(kind)), int(index)) for kind, index in data[1]
+    )
+    return Place(local, projection)
+
+
+@dataclass(frozen=True)
+class FocusEntry:
+    """Both slice directions for one direct place, span-mapped."""
+
+    place: Place
+    label: str
+    defining_span: Span
+    backward: Tuple[Location, ...]
+    forward: Tuple[Location, ...]
+    backward_spans: Tuple[Span, ...]
+    forward_spans: Tuple[Span, ...]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "place": _place_to_json(self.place),
+            "label": self.label,
+            "defining_span": list(self.defining_span.to_tuple()),
+            "backward": [[loc.block, loc.statement] for loc in self.backward],
+            "forward": [[loc.block, loc.statement] for loc in self.forward],
+            "backward_spans": spans_to_json(self.backward_spans),
+            "forward_spans": spans_to_json(self.forward_spans),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FocusEntry":
+        return cls(
+            place=_place_from_json(data["place"]),
+            label=str(data["label"]),
+            defining_span=Span.from_tuple(data["defining_span"]),
+            backward=tuple(Location(int(b), int(s)) for b, s in data["backward"]),
+            forward=tuple(Location(int(b), int(s)) for b, s in data["forward"]),
+            backward_spans=spans_from_json(data["backward_spans"]),
+            forward_spans=spans_from_json(data["forward_spans"]),
+        )
+
+
+@dataclass
+class FocusTable:
+    """All-places focus information for one function under one condition."""
+
+    fn_name: str
+    condition: str
+    fingerprint: str
+    entries: Dict[str, FocusEntry] = field(default_factory=dict)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def entry_for_place(self, place: Place) -> Optional[FocusEntry]:
+        """The entry for ``place``, falling back to its base local.
+
+        Projected places the analysis never tracked individually (e.g. a
+        field that is only ever written as part of the whole struct) answer
+        with the base local's entry — a sound over-approximation, the same
+        the dependency context itself makes.
+        """
+        for candidate in (place, place.base_local()):
+            for entry in self.entries.values():
+                if entry.place == candidate:
+                    return entry
+        return None
+
+    def entry_for_variable(self, variable: str) -> FocusEntry:
+        """Entry by source-level variable name (raises a typed error).
+
+        Entry labels are source-level renderings (``x``, ``x.0``, ``(*p)``),
+        so a plain variable name is itself a label.
+        """
+        entry = self.entries.get(variable)
+        if entry is None:
+            raise QueryError(
+                f"function {self.fn_name!r} has no variable {variable!r}",
+                code=QueryError.UNKNOWN_VARIABLE,
+            )
+        return entry
+
+    def labels(self) -> List[str]:
+        return sorted(self.entries)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, result: FunctionFlowResult, fingerprint: str = "", condition: str = ""
+    ) -> "FocusTable":
+        """Tabulate every direct place of ``result`` in one pass.
+
+        The forward direction is computed by inverting the dependency
+        relation once: for each location ℓ' that writes a place ``w``, every
+        dependency ``d`` of ``w`` immediately after ℓ' gains ℓ' as an
+        influencee.  A place's forward slice is then the union of
+        ``influenced[ℓ]`` over its writing locations (plus the writes
+        themselves) — byte-identical to running
+        :meth:`FunctionFlowResult.forward_slice` per query, without the
+        per-query scan.
+        """
+        body = result.body
+
+        # One pass: written place per location, and the inverted influence map.
+        writes: List[Tuple[Location, Place]] = []
+        influenced: Dict[Location, Set[Location]] = {}
+        for location in body.locations():
+            instruction = body.instruction_at(location)
+            written: Optional[Place] = None
+            if isinstance(instruction, Statement) and instruction.kind is StatementKind.ASSIGN:
+                written = instruction.place
+            elif isinstance(instruction, CallTerminator):
+                written = instruction.destination
+            if written is None:
+                continue
+            writes.append((location, written))
+            for dep in result.theta_after(location).read_conflicts(written):
+                influenced.setdefault(dep, set()).add(location)
+
+        # Direct places worth tabulating: every local, plus every projected
+        # place the exit state tracks (the analysis' own field-sensitivity
+        # decides how fine this gets), plus every written place.
+        places: Set[Place] = {Place.from_local(local.index) for local in body.locals}
+        places.update(result.exit_theta.places())
+        places.update(place for _, place in writes)
+
+        table = cls(fn_name=body.fn_name, condition=condition, fingerprint=fingerprint)
+        for place in sorted(places, key=lambda p: (p.local, tuple(
+            (elem.kind.value, elem.index) for elem in p.projection
+        ))):
+            backward = result.backward_slice(place)
+            write_locs: Set[Location] = {
+                loc for loc, written in writes if written.conflicts_with(place)
+            }
+            forward: Set[Location] = set(write_locs)
+            for loc in write_locs:
+                forward |= influenced.get(loc, set())
+            # Parameters are never written in-body: their forward flow is
+            # everything depending on the synthetic argument tag seeded at
+            # entry (matching `forward_slice_locations`).
+            local = body.locals[place.local]
+            if local.is_arg and place.is_local():
+                forward |= influenced.get(arg_location(place.local - 1), set())
+            entry = FocusEntry(
+                place=place,
+                label=place.pretty(body),
+                defining_span=body.locals[place.local].span,
+                backward=tuple(sorted(backward)),
+                forward=tuple(sorted(forward)),
+                backward_spans=normalize_spans(
+                    location_span(body, loc) for loc in backward
+                ),
+                forward_spans=normalize_spans(
+                    location_span(body, loc) for loc in forward
+                ),
+            )
+            # Shadowed bindings render to the same label; the first (lowest
+            # local index) keeps the bare name so name lookups agree with
+            # `Body.local_by_name`, while later bindings stay addressable by
+            # place (cursor queries) under a disambiguated key.
+            key = entry.label
+            if key in table.entries:
+                key = f"{entry.label}@{place.local}"
+            table.entries[key] = entry
+        return table
+
+    def respan(self, body: Body) -> "FocusTable":
+        """Re-derive every span in this table from ``body``'s current spans.
+
+        Focus tables are cached under a *span-insensitive* content
+        fingerprint (the lowered MIR), so an edit that only shifts a
+        function's position — a comment added above it, a sibling edited —
+        legitimately serves the cached locations, but their old source
+        spans would point at the wrong lines.  Locations are stable across
+        such edits (same MIR); spans are positional.  Serving layers call
+        this with the current body so highlights always track the text on
+        screen.
+        """
+        respanned = FocusTable(
+            fn_name=self.fn_name, condition=self.condition, fingerprint=self.fingerprint
+        )
+        for key, entry in self.entries.items():
+            respanned.entries[key] = dataclasses.replace(
+                entry,
+                defining_span=body.locals[entry.place.local].span,
+                backward_spans=normalize_spans(
+                    location_span(body, loc) for loc in entry.backward
+                ),
+                forward_spans=normalize_spans(
+                    location_span(body, loc) for loc in entry.forward
+                ),
+            )
+        return respanned
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "fn_name": self.fn_name,
+            "condition": self.condition,
+            "fingerprint": self.fingerprint,
+            "entries": {
+                label: entry.to_json_dict()
+                for label, entry in sorted(self.entries.items())
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FocusTable":
+        table = cls(
+            fn_name=str(data["fn_name"]),
+            condition=str(data["condition"]),
+            fingerprint=str(data["fingerprint"]),
+        )
+        for label, entry in data["entries"].items():
+            table.entries[str(label)] = FocusEntry.from_json_dict(entry)
+        return table
+
+    # -- views --------------------------------------------------------------------
+
+    def response_for(self, entry: FocusEntry, direction: str = "both") -> dict:
+        """The JSON payload served for one focus query over this table."""
+        out: dict = {
+            "function": self.fn_name,
+            "target": entry.label,
+            "condition": self.condition,
+            "defining_span": list(entry.defining_span.to_tuple()),
+            "direction": direction,
+        }
+        if direction in ("backward", "both"):
+            out["backward"] = {
+                "locations": len(entry.backward),
+                "spans": spans_to_json(entry.backward_spans),
+                "lines": sorted(lines_of_spans(entry.backward_spans)),
+            }
+        if direction in ("forward", "both"):
+            out["forward"] = {
+                "locations": len(entry.forward),
+                "spans": spans_to_json(entry.forward_spans),
+                "lines": sorted(lines_of_spans(entry.forward_spans)),
+            }
+        return out

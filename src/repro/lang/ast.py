@@ -297,12 +297,17 @@ class Stmt(Node):
 
 @dataclass
 class LetStmt(Stmt):
-    """``let [mut] name [: ty] = init;``"""
+    """``let [mut] name [: ty] = init;``
+
+    ``name_span`` pins the bound variable's identifier token, while ``span``
+    covers the whole statement — cursor queries resolve against the former.
+    """
 
     name: str = ""
     mutable: bool = False
     declared_ty: Optional[Type] = None
     init: Optional[Expr] = None
+    name_span: Span = field(default=DUMMY_SPAN, kw_only=True)
 
     def __post_init__(self) -> None:
         self.kind = StmtKind.LET

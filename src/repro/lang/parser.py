@@ -178,6 +178,7 @@ class Parser:
         else:
             body = self._parse_block()
 
+        decl_span = start.span if body is None else start.span.merge(body.span)
         return ast.FnDecl(
             name=str(name.value),
             lifetime_params=lifetime_params,
@@ -186,7 +187,7 @@ class Parser:
             body=body,
             is_extern=is_extern,
             crate=crate_name,
-            span=start.span,
+            span=decl_span,
         )
 
     # -- types ---------------------------------------------------------------
@@ -269,8 +270,12 @@ class Parser:
                 if self._check(TokenKind.EQ):
                     self._advance()
                     value = self._parse_expr()
-                    self._expect(TokenKind.SEMI, "';' after assignment")
-                    stmts.append(ast.AssignStmt(target=expr, value=value, span=expr.span))
+                    semi = self._expect(TokenKind.SEMI, "';' after assignment")
+                    stmts.append(
+                        ast.AssignStmt(
+                            target=expr, value=value, span=expr.span.merge(semi.span)
+                        )
+                    )
                 elif self._match(TokenKind.SEMI):
                     stmts.append(ast.ExprStmt(expr=expr, span=expr.span))
                 elif self._check(TokenKind.RBRACE):
@@ -297,28 +302,29 @@ class Parser:
             declared_ty = self._parse_type()
         self._expect(TokenKind.EQ, "'=' in let binding")
         init = self._parse_expr()
-        self._expect(TokenKind.SEMI, "';'")
+        semi = self._expect(TokenKind.SEMI, "';'")
         return ast.LetStmt(
             name=str(name.value),
             mutable=mutable,
             declared_ty=declared_ty,
             init=init,
-            span=start.span,
+            name_span=name.span,
+            span=start.span.merge(semi.span),
         )
 
     def _parse_while(self) -> ast.WhileStmt:
         start = self._expect(TokenKind.KW_WHILE, "'while'")
         cond = self._parse_expr(allow_struct=False)
         body = self._parse_block()
-        return ast.WhileStmt(cond=cond, body=body, span=start.span)
+        return ast.WhileStmt(cond=cond, body=body, span=start.span.merge(body.span))
 
     def _parse_return(self) -> ast.ReturnStmt:
         start = self._expect(TokenKind.KW_RETURN, "'return'")
         value: Optional[ast.Expr] = None
         if not self._check(TokenKind.SEMI):
             value = self._parse_expr()
-        self._expect(TokenKind.SEMI, "';'")
-        return ast.ReturnStmt(value=value, span=start.span)
+        semi = self._expect(TokenKind.SEMI, "';'")
+        return ast.ReturnStmt(value=value, span=start.span.merge(semi.span))
 
     # -- expressions -----------------------------------------------------------
 
@@ -328,17 +334,21 @@ class Parser:
     def _parse_or(self, allow_struct: bool) -> ast.Expr:
         expr = self._parse_and(allow_struct)
         while self._check(TokenKind.OROR):
-            op_token = self._advance()
+            self._advance()
             rhs = self._parse_and(allow_struct)
-            expr = ast.Binary(op=ast.BinOp.OR, lhs=expr, rhs=rhs, span=op_token.span)
+            expr = ast.Binary(
+                op=ast.BinOp.OR, lhs=expr, rhs=rhs, span=expr.span.merge(rhs.span)
+            )
         return expr
 
     def _parse_and(self, allow_struct: bool) -> ast.Expr:
         expr = self._parse_comparison(allow_struct)
         while self._check(TokenKind.ANDAND):
-            op_token = self._advance()
+            self._advance()
             rhs = self._parse_comparison(allow_struct)
-            expr = ast.Binary(op=ast.BinOp.AND, lhs=expr, rhs=rhs, span=op_token.span)
+            expr = ast.Binary(
+                op=ast.BinOp.AND, lhs=expr, rhs=rhs, span=expr.span.merge(rhs.span)
+            )
         return expr
 
     _COMPARISON_OPS = {
@@ -356,7 +366,10 @@ class Parser:
             op_token = self._advance()
             rhs = self._parse_additive(allow_struct)
             expr = ast.Binary(
-                op=self._COMPARISON_OPS[op_token.kind], lhs=expr, rhs=rhs, span=op_token.span
+                op=self._COMPARISON_OPS[op_token.kind],
+                lhs=expr,
+                rhs=rhs,
+                span=expr.span.merge(rhs.span),
             )
         return expr
 
@@ -366,7 +379,7 @@ class Parser:
             op_token = self._advance()
             op = ast.BinOp.ADD if op_token.kind is TokenKind.PLUS else ast.BinOp.SUB
             rhs = self._parse_multiplicative(allow_struct)
-            expr = ast.Binary(op=op, lhs=expr, rhs=rhs, span=op_token.span)
+            expr = ast.Binary(op=op, lhs=expr, rhs=rhs, span=expr.span.merge(rhs.span))
         return expr
 
     _MUL_OPS = {
@@ -381,7 +394,10 @@ class Parser:
             op_token = self._advance()
             rhs = self._parse_unary(allow_struct)
             expr = ast.Binary(
-                op=self._MUL_OPS[op_token.kind], lhs=expr, rhs=rhs, span=op_token.span
+                op=self._MUL_OPS[op_token.kind],
+                lhs=expr,
+                rhs=rhs,
+                span=expr.span.merge(rhs.span),
             )
         return expr
 
@@ -390,34 +406,48 @@ class Parser:
         if token.kind is TokenKind.BANG:
             self._advance()
             operand = self._parse_unary(allow_struct)
-            return ast.Unary(op=ast.UnOp.NOT, operand=operand, span=token.span)
+            return ast.Unary(
+                op=ast.UnOp.NOT, operand=operand, span=token.span.merge(operand.span)
+            )
         if token.kind is TokenKind.MINUS:
             self._advance()
             operand = self._parse_unary(allow_struct)
-            return ast.Unary(op=ast.UnOp.NEG, operand=operand, span=token.span)
+            return ast.Unary(
+                op=ast.UnOp.NEG, operand=operand, span=token.span.merge(operand.span)
+            )
         if token.kind is TokenKind.STAR:
             self._advance()
             operand = self._parse_unary(allow_struct)
-            return ast.Deref(base=operand, span=token.span)
+            return ast.Deref(base=operand, span=token.span.merge(operand.span))
         if token.kind is TokenKind.AMP:
             self._advance()
             mutable = bool(self._match(TokenKind.KW_MUT))
             operand = self._parse_unary(allow_struct)
-            return ast.Borrow(mutable=mutable, place=operand, span=token.span)
+            return ast.Borrow(
+                mutable=mutable, place=operand, span=token.span.merge(operand.span)
+            )
         return self._parse_postfix(allow_struct)
 
     def _parse_postfix(self, allow_struct: bool) -> ast.Expr:
         expr = self._parse_primary(allow_struct)
         while True:
             if self._check(TokenKind.DOT):
-                dot = self._advance()
+                self._advance()
                 field_token = self._peek()
                 if field_token.kind is TokenKind.INT:
                     self._advance()
-                    expr = ast.FieldAccess(base=expr, fld=int(field_token.value), span=dot.span)
+                    expr = ast.FieldAccess(
+                        base=expr,
+                        fld=int(field_token.value),
+                        span=expr.span.merge(field_token.span),
+                    )
                 elif field_token.kind is TokenKind.IDENT:
                     self._advance()
-                    expr = ast.FieldAccess(base=expr, fld=str(field_token.value), span=dot.span)
+                    expr = ast.FieldAccess(
+                        base=expr,
+                        fld=str(field_token.value),
+                        span=expr.span.merge(field_token.span),
+                    )
                 else:
                     raise ParseError(
                         f"expected field name after '.', found {field_token.text!r}",
@@ -462,12 +492,19 @@ class Parser:
                 else_block = ast.Block(stmts=[], tail=nested, span=nested.span)
             else:
                 else_block = self._parse_block()
-        return ast.If(cond=cond, then_block=then_block, else_block=else_block, span=start.span)
+        end_span = else_block.span if else_block is not None else then_block.span
+        return ast.If(
+            cond=cond,
+            then_block=then_block,
+            else_block=else_block,
+            span=start.span.merge(end_span),
+        )
 
     def _parse_paren_or_tuple(self) -> ast.Expr:
         start = self._expect(TokenKind.LPAREN, "'('")
-        if self._match(TokenKind.RPAREN):
-            return ast.Literal(value=None, span=start.span)
+        if self._check(TokenKind.RPAREN):
+            rparen = self._advance()
+            return ast.Literal(value=None, span=start.span.merge(rparen.span))
         first = self._parse_expr()
         if self._match(TokenKind.RPAREN):
             return first
@@ -476,8 +513,8 @@ class Parser:
             if self._check(TokenKind.RPAREN):
                 break
             elements.append(self._parse_expr())
-        self._expect(TokenKind.RPAREN, "')'")
-        return ast.TupleExpr(elements=elements, span=start.span)
+        rparen = self._expect(TokenKind.RPAREN, "')'")
+        return ast.TupleExpr(elements=elements, span=start.span.merge(rparen.span))
 
     def _parse_ident_expr(self, allow_struct: bool) -> ast.Expr:
         name_token = self._advance()
@@ -490,8 +527,8 @@ class Parser:
                 args.append(self._parse_expr())
                 if not self._match(TokenKind.COMMA):
                     break
-            self._expect(TokenKind.RPAREN, "')'")
-            return ast.Call(func=name, args=args, span=name_token.span)
+            rparen = self._expect(TokenKind.RPAREN, "')'")
+            return ast.Call(func=name, args=args, span=name_token.span.merge(rparen.span))
 
         if allow_struct and self._check(TokenKind.LBRACE) and name[:1].isupper():
             self._advance()
@@ -503,8 +540,10 @@ class Parser:
                 fields.append((str(field_name.value), value))
                 if not self._match(TokenKind.COMMA):
                     break
-            self._expect(TokenKind.RBRACE, "'}'")
-            return ast.StructLit(struct_name=name, fields=fields, span=name_token.span)
+            rbrace = self._expect(TokenKind.RBRACE, "'}'")
+            return ast.StructLit(
+                struct_name=name, fields=fields, span=name_token.span.merge(rbrace.span)
+            )
 
         return ast.Var(name=name, span=name_token.span)
 

@@ -318,7 +318,14 @@ class Statement:
 
 
 class Terminator:
-    """Base class for block terminators."""
+    """Base class for block terminators.
+
+    Every terminator carries a ``span`` (the nearest enclosing source
+    construct) so that analysis results over terminator locations can be
+    mapped back to character-precise source ranges, not just whole lines.
+    """
+
+    span: Span = DUMMY_SPAN
 
     def successors(self) -> List[int]:
         return []
@@ -330,6 +337,7 @@ class Terminator:
 @dataclass
 class Goto(Terminator):
     target: int = 0
+    span: Span = DUMMY_SPAN
 
     def successors(self) -> List[int]:
         return [self.target]
@@ -345,6 +353,7 @@ class SwitchBool(Terminator):
     discr: Operand = None  # type: ignore[assignment]
     true_target: int = 0
     false_target: int = 0
+    span: Span = DUMMY_SPAN
 
     def successors(self) -> List[int]:
         return [self.true_target, self.false_target]
@@ -378,6 +387,8 @@ class CallTerminator(Terminator):
 
 @dataclass
 class Return(Terminator):
+    span: Span = DUMMY_SPAN
+
     def successors(self) -> List[int]:
         return []
 
@@ -387,6 +398,8 @@ class Return(Terminator):
 
 @dataclass
 class Unreachable(Terminator):
+    span: Span = DUMMY_SPAN
+
     def successors(self) -> List[int]:
         return []
 

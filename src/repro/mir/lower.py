@@ -179,15 +179,18 @@ class FunctionLowerer:
 
         entry = self._new_block()
         self.return_block = self._new_block()
-        self._terminate(Return(), block=self.return_block)
+        assert self.decl.body is not None
+        body_end = self.decl.body.span.end_point()
+        self._terminate(Return(span=body_end), block=self.return_block)
         self._switch_to(entry)
 
-        assert self.decl.body is not None
         result = self._lower_block_expr(self.decl.body)
         if not isinstance(ret_ty, type(UNIT)) or result is not None:
             if result is not None:
-                self._emit(Place.from_local(RETURN_LOCAL), Use(result), self.decl.body.span)
-        self._terminate(Goto(self.return_block))
+                tail = self.decl.body.tail
+                tail_span = tail.span if tail is not None else self.decl.body.span.end_point()
+                self._emit(Place.from_local(RETURN_LOCAL), Use(result), tail_span)
+        self._terminate(Goto(target=self.return_block, span=body_end))
 
         body = Body(
             fn_name=self.decl.name,
@@ -237,20 +240,21 @@ class FunctionLowerer:
                 ty = stmt.init.ty
             if ty is None:
                 ty = UNIT
+            name_span = stmt.name_span if not stmt.name_span.is_dummy() else stmt.span
             local = self._new_local(
                 self.registry.resolve(ty),
                 name=stmt.name,
                 mutable=stmt.mutable,
-                span=stmt.span,
+                span=name_span,
             )
             if stmt.init is not None:
-                self._lower_into(Place.from_local(local), stmt.init)
+                self._lower_into(Place.from_local(local), stmt.init, span=stmt.span)
             self._declare(stmt.name, local)
             return
 
         if isinstance(stmt, ast.AssignStmt):
             place = self._lower_to_place(stmt.target)
-            self._lower_into(place, stmt.value)
+            self._lower_into(place, stmt.value, span=stmt.span)
             return
 
         if isinstance(stmt, ast.ExprStmt):
@@ -264,7 +268,7 @@ class FunctionLowerer:
         if isinstance(stmt, ast.ReturnStmt):
             if stmt.value is not None:
                 self._lower_into(Place.from_local(RETURN_LOCAL), stmt.value)
-            self._terminate(Goto(self.return_block))
+            self._terminate(Goto(target=self.return_block, span=stmt.span))
             # Anything after a return in the same surface block is dead code;
             # keep lowering it into a fresh (unreachable) block.
             self._switch_to(self._new_block())
@@ -273,14 +277,14 @@ class FunctionLowerer:
         if isinstance(stmt, ast.BreakStmt):
             if not self.loop_stack:
                 raise LoweringError("'break' outside of a loop", stmt.span)
-            self._terminate(Goto(self.loop_stack[-1].break_target))
+            self._terminate(Goto(target=self.loop_stack[-1].break_target, span=stmt.span))
             self._switch_to(self._new_block())
             return
 
         if isinstance(stmt, ast.ContinueStmt):
             if not self.loop_stack:
                 raise LoweringError("'continue' outside of a loop", stmt.span)
-            self._terminate(Goto(self.loop_stack[-1].continue_target))
+            self._terminate(Goto(target=self.loop_stack[-1].continue_target, span=stmt.span))
             self._switch_to(self._new_block())
             return
 
@@ -291,11 +295,16 @@ class FunctionLowerer:
         body_block = self._new_block()
         exit_block = self._new_block()
 
-        self._terminate(Goto(cond_block))
+        self._terminate(Goto(target=cond_block, span=stmt.cond.span))
         self._switch_to(cond_block)
         cond_operand = self._lower_to_operand(stmt.cond)
         self._terminate(
-            SwitchBool(discr=cond_operand, true_target=body_block, false_target=exit_block)
+            SwitchBool(
+                discr=cond_operand,
+                true_target=body_block,
+                false_target=exit_block,
+                span=stmt.cond.span,
+            )
         )
 
         self._switch_to(body_block)
@@ -304,7 +313,7 @@ class FunctionLowerer:
             self._lower_block_expr(stmt.body)
         finally:
             self.loop_stack.pop()
-        self._terminate(Goto(cond_block))
+        self._terminate(Goto(target=cond_block, span=stmt.body.span.end_point()))
 
         self._switch_to(exit_block)
 
@@ -370,32 +379,44 @@ class FunctionLowerer:
         self._lower_into(dest, expr)
         return dest
 
-    def _lower_into(self, dest: Place, expr: ast.Expr) -> None:
-        """Lower ``expr`` so that its value ends up stored in ``dest``."""
+    def _lower_into(
+        self, dest: Place, expr: ast.Expr, span: Optional[Span] = None
+    ) -> None:
+        """Lower ``expr`` so that its value ends up stored in ``dest``.
+
+        ``span`` overrides the span of the final assignment into ``dest`` —
+        used by ``let``/assignment statements so the defining write carries
+        the whole statement's source range (the way rustc's MIR does),
+        rather than just the initialiser expression's.  Sub-expression
+        temporaries keep their own precise spans either way.
+        """
+        into_span = span if span is not None else expr.span
         if isinstance(expr, ast.Literal):
-            self._emit(dest, Use(Constant(expr.value, self._expr_ty(expr))), expr.span)
+            self._emit(dest, Use(Constant(expr.value, self._expr_ty(expr))), into_span)
             return
 
         if expr.is_place():
             place = self._lower_to_place(expr)
-            self._emit(dest, Use(self._operand_for_place(place, self._expr_ty(expr))), expr.span)
+            self._emit(
+                dest, Use(self._operand_for_place(place, self._expr_ty(expr))), into_span
+            )
             return
 
         if isinstance(expr, ast.Unary):
             operand = self._lower_to_operand(expr.operand)
-            self._emit(dest, UnaryOp(expr.op, operand), expr.span)
+            self._emit(dest, UnaryOp(expr.op, operand), into_span)
             return
 
         if isinstance(expr, ast.Binary):
             lhs = self._lower_to_operand(expr.lhs)
             rhs = self._lower_to_operand(expr.rhs)
-            self._emit(dest, BinaryOp(expr.op, lhs, rhs), expr.span)
+            self._emit(dest, BinaryOp(expr.op, lhs, rhs), into_span)
             return
 
         if isinstance(expr, ast.Borrow):
             place = self._lower_to_place(expr.place)
             mutability = Mutability.MUT if expr.mutable else Mutability.SHARED
-            self._emit(dest, Ref(mutability, place), expr.span)
+            self._emit(dest, Ref(mutability, place), into_span)
             return
 
         if isinstance(expr, ast.Call):
@@ -407,7 +428,7 @@ class FunctionLowerer:
                     args=args,
                     destination=dest,
                     target=continuation,
-                    span=expr.span,
+                    span=into_span,
                 )
             )
             self._switch_to(continuation)
@@ -415,7 +436,7 @@ class FunctionLowerer:
 
         if isinstance(expr, ast.TupleExpr):
             ops = tuple(self._lower_to_operand(element) for element in expr.elements)
-            self._emit(dest, Aggregate(AggregateKind.TUPLE, ops), expr.span)
+            self._emit(dest, Aggregate(AggregateKind.TUPLE, ops), into_span)
             return
 
         if isinstance(expr, ast.StructLit):
@@ -430,7 +451,7 @@ class FunctionLowerer:
             self._emit(
                 dest,
                 Aggregate(AggregateKind.STRUCT, ops, struct_name=struct.name),
-                expr.span,
+                into_span,
             )
             return
 
@@ -450,18 +471,27 @@ class FunctionLowerer:
         else_block = self._new_block()
         join_block = self._new_block()
 
-        self._terminate(SwitchBool(discr=cond, true_target=then_block, false_target=else_block))
+        self._terminate(
+            SwitchBool(
+                discr=cond,
+                true_target=then_block,
+                false_target=else_block,
+                span=expr.cond.span,
+            )
+        )
 
         self._switch_to(then_block)
         self._lower_block_into(expr.then_block, dest)
-        self._terminate(Goto(join_block))
+        self._terminate(Goto(target=join_block, span=expr.then_block.span.end_point()))
 
         self._switch_to(else_block)
         if expr.else_block is not None:
             self._lower_block_into(expr.else_block, dest)
+            else_end = expr.else_block.span.end_point()
         else:
             self._emit(dest, Use(Constant(None, UNIT)), expr.span)
-        self._terminate(Goto(join_block))
+            else_end = expr.span.end_point()
+        self._terminate(Goto(target=join_block, span=else_end))
 
         self._switch_to(join_block)
 

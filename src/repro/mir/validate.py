@@ -101,9 +101,43 @@ def validate_body(body: Body) -> List[str]:
     return problems
 
 
-def assert_valid(body: Body) -> None:
-    """Raise :class:`LoweringError` when ``body`` is structurally invalid."""
+def span_problems(body: Body) -> List[str]:
+    """Flag instructions and locals that lost their source position.
+
+    Lowering is expected to attach the nearest enclosing source span to
+    every statement and terminator (and a definition span to every named
+    local): a ``DUMMY_SPAN`` here means some span-precise query (the focus
+    engine, slice rendering) will silently drop that instruction from its
+    highlights.  Returns a list of problems, empty when span-clean.
+    """
+    problems: List[str] = []
+    for local in body.locals:
+        if local.name is not None and local.span.is_dummy():
+            problems.append(f"local {local.name!r} (_{local.index}) has a dummy span")
+    for block_idx, block in enumerate(body.blocks):
+        for stmt_idx, stmt in enumerate(block.statements):
+            if stmt.span.is_dummy():
+                problems.append(
+                    f"bb{block_idx}[{stmt_idx}]: {stmt.pretty(body)} has a dummy span"
+                )
+        terminator = block.terminator
+        if getattr(terminator, "span", None) is None or terminator.span.is_dummy():
+            problems.append(
+                f"bb{block_idx}[terminator]: {terminator.pretty(body)} has a dummy span"
+            )
+    return problems
+
+
+def assert_valid(body: Body, check_spans: bool = False) -> None:
+    """Raise :class:`LoweringError` when ``body`` is structurally invalid.
+
+    With ``check_spans`` the span-fidelity pass runs too, so lowering
+    regressions that drop source positions fail loudly instead of degrading
+    focus results.
+    """
     problems = validate_body(body)
+    if check_spans:
+        problems = problems + span_problems(body)
     if problems:
         summary = "; ".join(problems)
         raise LoweringError(f"invalid MIR for {body.fn_name!r}: {summary}")

@@ -37,10 +37,12 @@ from repro.mir.lower import LoweredProgram
 from repro.mir.pretty import pretty_body
 
 
-# Cached-value kinds: a per-function analysis record served to queries, and a
-# parameter-level whole-program summary consumed by the recursive provider.
+# Cached-value kinds: a per-function analysis record served to queries, a
+# parameter-level whole-program summary consumed by the recursive provider,
+# and a precomputed all-places focus table served to cursor queries.
 KIND_RECORD = "record"
 KIND_SUMMARY = "summary"
+KIND_FOCUS = "focus"
 
 
 def _digest(text: str) -> str:
@@ -171,6 +173,20 @@ class FingerprintIndex:
     def record_key(self, name: str, config: AnalysisConfig) -> CacheKey:
         return CacheKey(
             kind=KIND_RECORD,
+            fn_name=name,
+            fingerprint=self.record_fingerprint(name, config),
+            condition=config_cache_key(config),
+        )
+
+    def focus_key(self, name: str, config: AnalysisConfig) -> CacheKey:
+        """Key for the function's precomputed focus table.
+
+        Focus tables derive from the same analysis result as records, so
+        they share the record fingerprint — an edit that would change the
+        record also orphans the table.
+        """
+        return CacheKey(
+            kind=KIND_FOCUS,
             fn_name=name,
             fingerprint=self.record_fingerprint(name, config),
             condition=config_cache_key(config),

@@ -11,11 +11,15 @@ and its response::
     {"id": 1, "ok": true, "result": {...}}
 
 Errors never kill the loop: a malformed line or a failing query produces an
-``{"ok": false, "error": ...}`` response and the service keeps reading.  The
-``shutdown`` method ends the loop (EOF does too).
+``{"ok": false, "error": ..., "error_code": ...}`` response and the service
+keeps reading.  ``error`` stays a human-readable string; ``error_code`` is a
+stable machine-readable code (``unknown_function``, ``unknown_variable``,
+``position_out_of_range``, ``protocol_error``, ...) that clients dispatch on
+instead of parsing messages.  The ``shutdown`` method ends the loop (EOF
+does too).
 
-Methods: ``open``, ``update``, ``close``, ``analyze``, ``slice``, ``ifc``,
-``warm``, ``stats``, ``ping``, ``shutdown``.
+Methods: ``open``, ``update``, ``close``, ``analyze``, ``slice``, ``focus``,
+``ifc``, ``warm``, ``stats``, ``ping``, ``shutdown``.
 """
 
 from __future__ import annotations
@@ -25,12 +29,14 @@ import json
 from typing import IO, Optional
 
 from repro.core.config import AnalysisConfig
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
 from repro.service.session import AnalysisSession
 
 
 class ProtocolError(ReproError):
     """A malformed request (bad JSON, unknown method, missing params)."""
+
+    code = "protocol_error"
 
 
 def condition_from_params(params: dict) -> Optional[AnalysisConfig]:
@@ -57,13 +63,19 @@ class AnalysisService:
 
     # -- dispatch ----------------------------------------------------------------
 
+    @staticmethod
+    def _error_response(request_id, message: str, code: str) -> dict:
+        return {"id": request_id, "ok": False, "error": message, "error_code": code}
+
     def handle_line(self, line: str) -> dict:
         try:
             request = json.loads(line)
         except json.JSONDecodeError as error:
-            return {"id": None, "ok": False, "error": f"invalid JSON: {error}"}
+            return self._error_response(None, f"invalid JSON: {error}", "parse_error")
         if not isinstance(request, dict):
-            return {"id": None, "ok": False, "error": "request must be a JSON object"}
+            return self._error_response(
+                None, "request must be a JSON object", "parse_error"
+            )
         return self.handle(request)
 
     def handle(self, request: dict) -> dict:
@@ -81,16 +93,20 @@ class AnalysisService:
                 raise ProtocolError("`params` must be an object")
             result = handler(params)
             return {"id": request_id, "ok": True, "result": result}
+        except QueryError as error:
+            return self._error_response(request_id, str(error), error.code)
+        except ProtocolError as error:
+            return self._error_response(request_id, str(error), error.code)
         except ReproError as error:
-            return {"id": request_id, "ok": False, "error": str(error)}
+            return self._error_response(request_id, str(error), "repro_error")
         except (KeyError, TypeError, ValueError) as error:
-            return {"id": request_id, "ok": False, "error": f"bad request: {error}"}
+            return self._error_response(request_id, f"bad request: {error}", "bad_request")
         except Exception as error:  # the loop survives anything a query throws
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": f"internal error: {type(error).__name__}: {error}",
-            }
+            return self._error_response(
+                request_id,
+                f"internal error: {type(error).__name__}: {error}",
+                "internal_error",
+            )
 
     # -- methods -----------------------------------------------------------------
 
@@ -139,6 +155,30 @@ class AnalysisService:
             variable,
             direction=str(params.get("direction", "backward")),
             config=condition_from_params(params),
+        )
+
+    def _method_focus(self, params: dict) -> dict:
+        line = params.get("line")
+        col = params.get("col")
+        function = params.get("function")
+        variable = params.get("variable")
+        by_cursor = line is not None and col is not None
+        by_name = isinstance(function, str) and isinstance(variable, str)
+        if not by_cursor and not by_name:
+            raise ProtocolError(
+                "`focus` needs integer `line` and `col`, or string `function` and `variable`"
+            )
+        if by_cursor and not (isinstance(line, int) and isinstance(col, int)):
+            raise ProtocolError("`focus` positions must be 1-based integers")
+        unit = params.get("unit")
+        return self.session.focus(
+            line=line if by_cursor else None,
+            col=col if by_cursor else None,
+            function=function if by_name else None,
+            variable=variable if by_name else None,
+            direction=str(params.get("direction", "both")),
+            config=condition_from_params(params),
+            unit=str(unit) if unit is not None else None,
         )
 
     def _method_ifc(self, params: dict) -> dict:

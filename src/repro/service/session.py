@@ -19,11 +19,13 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.apps.ifc import IfcChecker, IfcPolicy
-from repro.apps.slicer import forward_slice_locations, lines_of_locations
+from repro.apps.slicer import lines_of_locations
 from repro.core.analysis import FunctionFlowResult
 from repro.core.config import MODULAR, AnalysisConfig, condition_name
 from repro.core.engine import FlowEngine
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
+from repro.focus.resolve import resolve_cursor
+from repro.focus.table import FocusTable
 from repro.lang.parser import parse_program
 from repro.lang.typeck import check_program
 from repro.mir.callgraph import CallGraph, build_call_graph
@@ -60,6 +62,7 @@ class AnalysisSession:
         self.counters: Dict[str, int] = {
             "analyze_queries": 0,
             "slice_queries": 0,
+            "focus_queries": 0,
             "ifc_queries": 0,
             "edits": 0,
             "memo_hits": 0,
@@ -105,12 +108,12 @@ class AnalysisSession:
 
     def update_unit(self, name: str, source: str) -> dict:
         if name not in self._units:
-            raise ReproError(f"no open unit named {name!r}")
+            raise QueryError(f"no open unit named {name!r}", code=QueryError.UNKNOWN_UNIT)
         return self.open_unit(name, source)
 
     def close_unit(self, name: str) -> dict:
         if name not in self._units:
-            raise ReproError(f"no open unit named {name!r}")
+            raise QueryError(f"no open unit named {name!r}", code=QueryError.UNKNOWN_UNIT)
         previous = self._units[name]
         del self._units[name]
         try:
@@ -121,7 +124,10 @@ class AnalysisSession:
 
     def _require_workspace(self) -> None:
         if self._checked is None:
-            raise ReproError("no sources opened; send an `open` request first")
+            raise QueryError(
+                "no sources opened; send an `open` request first",
+                code=QueryError.NO_WORKSPACE,
+            )
 
     def _rebuild(self) -> dict:
         """Re-derive program state after a workspace change and evict exactly
@@ -212,6 +218,15 @@ class AnalysisSession:
             body.fn_name for body in self._lowered.bodies.values() if body.crate == local
         )
 
+    def function_names(self) -> List[str]:
+        """Names of the local-crate functions currently in the workspace."""
+        return self._local_function_names()
+
+    def variables_of(self, fn_name: str) -> List[str]:
+        """Source-level variable names (args and lets) of one function."""
+        body = self._body(fn_name)
+        return [local.name for local in body.user_locals() if local.name is not None]
+
     def engine(self, config: AnalysisConfig) -> FlowEngine:
         self._require_workspace()
         key = config_cache_key(config)
@@ -228,7 +243,10 @@ class AnalysisSession:
         self._require_workspace()
         body = self._lowered.body(fn_name)
         if body is None:
-            raise ReproError(f"no function named {fn_name!r} with a body")
+            raise QueryError(
+                f"no function named {fn_name!r} with a body",
+                code=QueryError.UNKNOWN_FUNCTION,
+            )
         return body
 
     def _result(self, fn_name: str, config: AnalysisConfig) -> Tuple[FunctionFlowResult, bool]:
@@ -293,6 +311,72 @@ class AnalysisSession:
             "stats": self.store.stats.to_dict(),
         }
 
+    def _unit_line_offset(self, unit: Optional[str]) -> int:
+        """Line offset of ``unit`` within the joined workspace source.
+
+        The workspace concatenates units with newlines, so a client that
+        addresses positions within one document (the LSP model) needs its
+        cursor shifted into — and response spans shifted out of — the joined
+        coordinate space.
+        """
+        if unit is None:
+            return 0
+        if unit not in self._units:
+            raise QueryError(f"no open unit named {unit!r}", code=QueryError.UNKNOWN_UNIT)
+        offset = 0
+        for name, source in self._units.items():
+            if name == unit:
+                return offset
+            offset += source.count("\n") + 1
+        return offset
+
+    @staticmethod
+    def _shift_focus_response(out: dict, delta: int) -> dict:
+        """Shift every line number in a focus response by ``delta``."""
+        if delta == 0:
+            return out
+
+        def shift_span(span):
+            return [span[0] + delta, span[1], span[2] + delta, span[3]]
+
+        for key in ("seed_span", "defining_span", "function_span"):
+            if out.get(key):
+                out[key] = shift_span(out[key])
+        for direction in ("backward", "forward"):
+            block = out.get(direction)
+            if block:
+                block["spans"] = [shift_span(span) for span in block["spans"]]
+                block["lines"] = [line + delta for line in block["lines"]]
+        return out
+
+    def _focus_table(
+        self, fn_name: str, config: AnalysisConfig
+    ) -> Tuple[FocusTable, str]:
+        """The function's precomputed focus table, served from the store.
+
+        Focus tables go through the same content-addressed cache as analysis
+        records: a warm query deserialises the table, a cold one runs the
+        dataflow analysis once and tabulates every place, and an edit makes
+        the key unreachable (the invalidation plan reclaims the entry).
+        """
+        key = self._fingerprints.focus_key(fn_name, config)
+        data = self.store.get(key)
+        if data is not None:
+            # The fingerprint hashes the lowered MIR, not source positions:
+            # a cached table's locations are valid whenever the key matches,
+            # but its spans may predate a pure position shift (an edit above
+            # the function).  Re-derive them from the current body.
+            table = FocusTable.from_json_dict(data).respan(self._body(fn_name))
+            return table, "hit"
+        result, _ = self._result(fn_name, config)
+        table = FocusTable.build(
+            result, fingerprint=key.fingerprint, condition=condition_name(config)
+        )
+        self.store.put(key, table.to_json_dict())
+        # The result memo is fingerprint-keyed too, so after a pure position
+        # shift it can hold the *old* body; serve current-text spans anyway.
+        return table.respan(self._body(fn_name)), "miss"
+
     def slice(
         self,
         function: str,
@@ -300,27 +384,27 @@ class AnalysisSession:
         direction: str = "backward",
         config: Optional[AnalysisConfig] = None,
     ) -> dict:
-        """A backward or forward slice, rendered as source line numbers."""
+        """A backward or forward slice, rendered as source line numbers.
+
+        Both directions are served from the function's focus table: the
+        all-places tabulation already holds every variable's slice, so a
+        repeated query in either direction is a cache hit.
+        """
         if direction not in ("backward", "forward"):
-            raise ReproError(f"unknown slice direction {direction!r}")
+            raise QueryError(
+                f"unknown slice direction {direction!r}", code=QueryError.INVALID_PARAMS
+            )
         config = config or MODULAR
         self.counters["slice_queries"] += 1
         body = self._body(function)
-
-        if direction == "backward":
-            record, cache = self._record(function, config)
-            try:
-                locations = record.backward_slice_locations(variable)
-            except KeyError:
-                raise ReproError(
-                    f"function {function!r} has no variable {variable!r}"
-                ) from None
-        else:
-            # Forward slices are location-indexed, which the flat record does
-            # not carry; they are served from the in-memory result memo.
-            result, memo_hit = self._result(function, config)
-            locations = sorted(forward_slice_locations(result, variable))
-            cache = "memo-hit" if memo_hit else "miss"
+        if body.local_by_name(variable) is None:
+            raise QueryError(
+                f"function {function!r} has no variable {variable!r}",
+                code=QueryError.UNKNOWN_VARIABLE,
+            )
+        table, cache = self._focus_table(function, config)
+        entry = table.entry_for_variable(variable)
+        locations = entry.backward if direction == "backward" else entry.forward
 
         return {
             "function": function,
@@ -329,9 +413,82 @@ class AnalysisSession:
             "condition": condition_name(config),
             "size": len(locations),
             "lines": sorted(lines_of_locations(body, locations)),
+            "spans": [list(span.to_tuple()) for span in (
+                entry.backward_spans if direction == "backward" else entry.forward_spans
+            )],
             "cache": cache,
             "stats": self.store.stats.to_dict(),
         }
+
+    def focus(
+        self,
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+        function: Optional[str] = None,
+        variable: Optional[str] = None,
+        direction: str = "both",
+        config: Optional[AnalysisConfig] = None,
+        unit: Optional[str] = None,
+    ) -> dict:
+        """A cursor-driven focus query: span-precise slices in both directions.
+
+        Two addressing modes: a ``(line, col)`` cursor (resolved to the
+        enclosing MIR place, the IDE workflow) or an explicit
+        ``(function, variable)`` pair.  With ``unit``, cursor positions and
+        response spans are relative to that document rather than the joined
+        workspace — the multi-document editor contract.  The answer comes
+        from the function's precomputed focus table, so every place of a
+        function costs one dataflow pass total.
+        """
+        if direction not in ("backward", "forward", "both"):
+            raise QueryError(
+                f"unknown focus direction {direction!r}", code=QueryError.INVALID_PARAMS
+            )
+        config = config or MODULAR
+        self.counters["focus_queries"] += 1
+        self._require_workspace()
+        offset = self._unit_line_offset(unit)
+
+        if function is not None and variable is not None:
+            body = self._body(function)
+            if body.local_by_name(variable) is None:
+                raise QueryError(
+                    f"function {function!r} has no variable {variable!r}",
+                    code=QueryError.UNKNOWN_VARIABLE,
+                )
+            table, cache = self._focus_table(function, config)
+            entry = table.entry_for_variable(variable)
+            seed_span = entry.defining_span
+            fn_body = body
+        elif line is not None and col is not None:
+            target = resolve_cursor(
+                self._checked, self._lowered, int(line) + offset, int(col)
+            )
+            fn_body = self._body(target.fn_name)
+            table, cache = self._focus_table(target.fn_name, config)
+            entry = table.entry_for_place(target.place)
+            if entry is None:
+                raise QueryError(
+                    f"function {target.fn_name!r} has no focus entry for "
+                    f"{target.label!r}",
+                    code=QueryError.NO_PLACE_AT_POSITION,
+                )
+            seed_span = target.span
+        else:
+            raise QueryError(
+                "focus needs either (line, col) or (function, variable)",
+                code=QueryError.INVALID_PARAMS,
+            )
+
+        out = table.response_for(entry, direction)
+        out["seed_span"] = list(seed_span.to_tuple()) if not seed_span.is_dummy() else None
+        out["function_span"] = (
+            list(fn_body.span.to_tuple()) if not fn_body.span.is_dummy() else None
+        )
+        self._shift_focus_response(out, -offset)
+        out["cache"] = cache
+        out["stats"] = self.store.stats.to_dict()
+        return out
 
     def ifc(
         self,

@@ -1,0 +1,670 @@
+"""Tests for the focus engine: resolution, tables, rendering, server, CLI.
+
+Includes the focus subsystem's property tests:
+
+* a backward slice always contains the seed's defining span,
+* the focus-table entry for a variable equals the union of its per-query
+  slices (both directions),
+* warm (cache-served) focus results are byte-equal to cold ones.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from helpers import GET_COUNT_SOURCE, HELPER_CALLER_SOURCE, analyze, lowered_from
+
+from repro.apps.slicer import ProgramSlicer, forward_slice_locations
+from repro.cli import main
+from repro.core.config import MODULAR, WHOLE_PROGRAM
+from repro.errors import QueryError, Span
+from repro.focus.render import render_focus_markers, render_focus_response
+from repro.focus.resolve import place_expr_to_mir, resolve_cursor
+from repro.focus.server import FocusServer, serve_jsonrpc, span_to_range
+from repro.focus.spans import (
+    lines_of_spans,
+    location_span,
+    normalize_spans,
+    spans_of_locations,
+)
+from repro.focus.table import FocusTable
+from repro.mir.validate import span_problems
+from repro.service.protocol import AnalysisService
+from repro.service.session import AnalysisSession
+
+
+COMPUTE_SOURCE = """\
+fn compute(a: u32, b: u32) -> u32 {
+    let x = a + 1;
+    let y = b * 2;
+    let z = x + y;
+    z
+}
+"""
+
+STRUCT_SOURCE = """\
+struct Point { x: u32, y: u32 }
+
+fn shift(p: &mut Point, dx: u32) -> u32 {
+    p.x = p.x + dx;
+    p.y
+}
+"""
+
+
+def find_pos(source: str, needle: str, occurrence: int = 0):
+    """(line, col) of the ``occurrence``-th ``needle`` in ``source``, 1-based."""
+    count = 0
+    for line_no, text in enumerate(source.splitlines(), start=1):
+        col = -1
+        while True:
+            col = text.find(needle, col + 1)
+            if col < 0:
+                break
+            if count == occurrence:
+                return line_no, col + 1
+            count += 1
+    raise AssertionError(f"needle {needle!r}#{occurrence} not found")
+
+
+# ---------------------------------------------------------------------------
+# Span utilities
+# ---------------------------------------------------------------------------
+
+
+class TestSpanUtilities:
+    def test_contains_is_half_open(self):
+        span = Span(2, 5, 2, 8)
+        assert span.contains(2, 5)
+        assert span.contains(2, 7)
+        assert not span.contains(2, 8)
+        assert not span.contains(1, 6)
+
+    def test_dummy_span_contains_nothing(self):
+        assert not Span().contains(1, 1)
+
+    def test_contains_span_and_tightness(self):
+        outer = Span(1, 1, 3, 10)
+        inner = Span(2, 2, 2, 5)
+        assert outer.contains_span(inner)
+        assert not inner.contains_span(outer)
+        assert inner.tightness() < outer.tightness()
+
+    def test_normalize_merges_overlaps_and_drops_dummies(self):
+        spans = [Span(1, 1, 1, 5), Span(1, 4, 1, 9), Span(), Span(3, 1, 3, 2)]
+        assert normalize_spans(spans) == (Span(1, 1, 1, 9), Span(3, 1, 3, 2))
+
+    def test_normalization_is_canonical(self):
+        a = [Span(1, 1, 1, 5), Span(2, 1, 2, 3)]
+        assert normalize_spans(a) == normalize_spans(list(reversed(a)))
+
+    def test_span_tuple_round_trip(self):
+        span = Span(1, 2, 3, 4)
+        assert Span.from_tuple(span.to_tuple()) == span
+
+
+# ---------------------------------------------------------------------------
+# Span fidelity of the lowering (satellite: DUMMY_SPAN audit)
+# ---------------------------------------------------------------------------
+
+
+class TestSpanFidelity:
+    @pytest.mark.parametrize(
+        "source", [COMPUTE_SOURCE, STRUCT_SOURCE, GET_COUNT_SOURCE, HELPER_CALLER_SOURCE]
+    )
+    def test_lowered_bodies_are_span_clean(self, source):
+        _, lowered = lowered_from(source)
+        for body in lowered.bodies.values():
+            assert span_problems(body) == []
+
+    def test_terminators_carry_spans(self):
+        _, lowered = lowered_from(GET_COUNT_SOURCE)
+        body = lowered.body("get_count")
+        for block in body.blocks:
+            assert not block.terminator.span.is_dummy()
+
+    def test_every_location_maps_to_a_span(self):
+        _, lowered = lowered_from(COMPUTE_SOURCE)
+        body = lowered.body("compute")
+        for location in body.locations():
+            assert not location_span(body, location).is_dummy()
+
+    def test_composite_expression_spans_cover_operands(self):
+        from repro.lang.parser import parse_expr
+
+        expr = parse_expr("alpha + beta * gamma")
+        assert expr.span.start_col == 1
+        assert expr.span.end_col == 1 + len("alpha + beta * gamma")
+
+
+# ---------------------------------------------------------------------------
+# Cursor resolution
+# ---------------------------------------------------------------------------
+
+
+class TestResolve:
+    def test_cursor_on_variable_use(self):
+        checked, lowered = lowered_from(COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        target = resolve_cursor(checked, lowered, line, col)
+        assert target.fn_name == "compute"
+        assert target.label == "x"
+
+    def test_cursor_on_let_binding_name(self):
+        checked, lowered = lowered_from(COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "let y")
+        target = resolve_cursor(checked, lowered, line, col + 4)
+        assert target.label == "y"
+        assert not target.defining_span.is_dummy()
+
+    def test_cursor_on_parameter(self):
+        checked, lowered = lowered_from(COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "a: u32")
+        target = resolve_cursor(checked, lowered, line, col)
+        assert target.label == "a"
+
+    def test_cursor_on_field_access_resolves_projection(self):
+        checked, lowered = lowered_from(STRUCT_SOURCE)
+        # Cursor on the `x` of the *read* `p.x + dx`.
+        line, col = find_pos(STRUCT_SOURCE, "p.x", 1)
+        target = resolve_cursor(checked, lowered, line, col + 2)
+        assert target.fn_name == "shift"
+        # Field access through &mut inserts the auto-deref the lowering uses.
+        assert target.place.projection != ()
+        assert target.label == "(*p).0"
+
+    def test_position_outside_any_function_is_typed_error(self):
+        checked, lowered = lowered_from(COMPUTE_SOURCE)
+        with pytest.raises(QueryError) as excinfo:
+            resolve_cursor(checked, lowered, 99, 1)
+        assert excinfo.value.code == QueryError.POSITION_OUT_OF_RANGE
+
+    def test_position_on_no_place_is_typed_error(self):
+        checked, lowered = lowered_from(COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "fn compute")
+        with pytest.raises(QueryError) as excinfo:
+            resolve_cursor(checked, lowered, line, col)
+        assert excinfo.value.code == QueryError.NO_PLACE_AT_POSITION
+
+    def test_place_expr_to_mir_unknown_variable(self):
+        from repro.lang import ast
+
+        _, lowered = lowered_from(COMPUTE_SOURCE)
+        body = lowered.body("compute")
+        assert place_expr_to_mir(ast.Var(name="nope"), body) is None
+
+
+# ---------------------------------------------------------------------------
+# Focus tables (property tests)
+# ---------------------------------------------------------------------------
+
+
+def _named_variables(body):
+    return [local.name for local in body.user_locals() if local.name is not None]
+
+
+class TestFocusTableProperties:
+    @pytest.mark.parametrize(
+        "source,fn_name",
+        [
+            (COMPUTE_SOURCE, "compute"),
+            (STRUCT_SOURCE, "shift"),
+            (GET_COUNT_SOURCE, "get_count"),
+            (HELPER_CALLER_SOURCE, "caller"),
+        ],
+    )
+    def test_backward_slice_contains_defining_span(self, source, fn_name):
+        """Property (a): a let-bound variable's backward slice covers the
+        span where the variable was defined."""
+        result = analyze(source, fn_name)
+        table = FocusTable.build(result)
+        for variable in _named_variables(result.body):
+            local = result.body.local_by_name(variable)
+            if local.is_arg:
+                continue  # parameters have no defining statement
+            entry = table.entry_for_variable(variable)
+            assert any(
+                span.contains_span(entry.defining_span)
+                for span in entry.backward_spans
+            ), f"backward slice of {variable!r} misses its definition"
+
+    @pytest.mark.parametrize("config", [MODULAR, WHOLE_PROGRAM])
+    def test_table_equals_per_query_slices(self, config):
+        """Property (b): the all-places tabulation answers exactly what the
+        per-query slicer computes, variable by variable."""
+        for source, fn_name in (
+            (COMPUTE_SOURCE, "compute"),
+            (STRUCT_SOURCE, "shift"),
+            (HELPER_CALLER_SOURCE, "caller"),
+        ):
+            result = analyze(source, fn_name, config)
+            table = FocusTable.build(result)
+            for variable in _named_variables(result.body):
+                entry = table.entry_for_variable(variable)
+                assert frozenset(entry.backward) == result.backward_slice_of_variable(
+                    variable
+                )
+                assert frozenset(entry.forward) == forward_slice_locations(
+                    result, variable
+                )
+
+    def test_warm_focus_results_byte_equal_to_cold(self):
+        """Property (c): a table served from cache yields the same bytes."""
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+
+        def canonical(response: dict) -> str:
+            response = dict(response)
+            response.pop("stats", None)  # counters differ between passes
+            response.pop("cache", None)
+            return json.dumps(response, sort_keys=True)
+
+        cold = session.focus(line=line, col=col)
+        warm = session.focus(line=line, col=col)
+        assert cold["cache"] == "miss"
+        assert warm["cache"] == "hit"
+        assert canonical(cold) == canonical(warm)
+
+    def test_table_json_round_trip(self):
+        result = analyze(STRUCT_SOURCE, "shift")
+        table = FocusTable.build(result, fingerprint="fp", condition="Modular")
+        clone = FocusTable.from_json_dict(table.to_json_dict())
+        assert clone.to_json_dict() == table.to_json_dict()
+        assert clone.labels() == table.labels()
+
+    def test_spans_of_locations_matches_entry_spans(self):
+        result = analyze(COMPUTE_SOURCE, "compute")
+        table = FocusTable.build(result)
+        entry = table.entry_for_variable("z")
+        assert spans_of_locations(result.body, entry.backward) == entry.backward_spans
+
+    def test_unknown_variable_is_typed_error(self):
+        result = analyze(COMPUTE_SOURCE, "compute")
+        table = FocusTable.build(result)
+        with pytest.raises(QueryError) as excinfo:
+            table.entry_for_variable("nope")
+        assert excinfo.value.code == QueryError.UNKNOWN_VARIABLE
+
+
+# ---------------------------------------------------------------------------
+# Session-level focus queries
+# ---------------------------------------------------------------------------
+
+
+class TestSessionFocus:
+    def test_cursor_and_name_queries_agree(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        by_cursor = session.focus(line=line, col=col)
+        by_name = session.focus(function="compute", variable="x")
+        assert by_cursor["target"] == by_name["target"] == "x"
+        assert by_cursor["backward"] == by_name["backward"]
+        assert by_cursor["forward"] == by_name["forward"]
+
+    def test_direction_filtering(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        bwd = session.focus(function="compute", variable="z", direction="backward")
+        assert "backward" in bwd and "forward" not in bwd
+
+    def test_update_unit_invalidates_focus_tables(self):
+        """The acceptance-criterion scenario: warm focus, edit, re-focus."""
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        cold = session.focus(line=line, col=col)
+        assert session.focus(line=line, col=col)["cache"] == "hit"
+
+        # An edit that changes x's dependencies: x now also reads b.
+        edited = COMPUTE_SOURCE.replace("let x = a + 1;", "let x = a + b + 1;")
+        session.update_unit("main", edited)
+        after = session.focus(line=line, col=col)
+        assert after["cache"] == "miss"  # table was invalidated, not reused
+        assert after["backward"] != cold["backward"]
+        # And the new table is served warm again afterwards.
+        assert session.focus(line=line, col=col)["cache"] == "hit"
+
+    def test_focus_unknown_function_typed_error(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        with pytest.raises(QueryError) as excinfo:
+            session.focus(function="nope", variable="x")
+        assert excinfo.value.code == QueryError.UNKNOWN_FUNCTION
+
+    def test_focus_without_workspace_typed_error(self):
+        with pytest.raises(QueryError) as excinfo:
+            AnalysisSession().focus(line=1, col=1)
+        assert excinfo.value.code == QueryError.NO_WORKSPACE
+
+    def test_focus_needs_cursor_or_name(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        with pytest.raises(QueryError) as excinfo:
+            session.focus()
+        assert excinfo.value.code == QueryError.INVALID_PARAMS
+
+    def test_shadowed_binding_name_lookup_matches_local_by_name(self):
+        """Name-based queries answer for the first binding (what
+        ``local_by_name`` resolves); later shadows stay cursor-addressable."""
+        source = "fn f(a: u32) -> u32 {\n    let x = a + 1;\n    let x = x * 2;\n    x\n}\n"
+        result = analyze(source, "f")
+        table = FocusTable.build(result)
+        first_local = result.body.local_by_name("x")
+        entry = table.entry_for_variable("x")
+        assert entry.place.local == first_local.index
+        assert frozenset(entry.backward) == result.backward_slice_of_variable("x")
+        # Both bindings have entries: cursor on the shadowing `x` resolves.
+        session = AnalysisSession()
+        session.open_unit("main", source)
+        shadow = session.focus(line=3, col=9)  # the second `let x`
+        assert shadow["target"] == "x"
+
+    def test_multi_unit_cursor_is_unit_relative(self):
+        """With several open documents, a cursor + unit addresses that
+        document's coordinates, and response spans come back unit-relative."""
+        other = "fn alpha(q: u32) -> u32 {\n    let w = q + 7;\n    w\n}\n"
+        session = AnalysisSession()
+        session.open_unit("lib.mr", other)
+        session.open_unit("main.mr", COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+
+        scoped = session.focus(line=line, col=col, unit="main.mr")
+        assert scoped["function"] == "compute"
+        assert scoped["seed_span"][0] == line
+        assert all(span[0] >= 1 for span in scoped["backward"]["spans"])
+
+        # The same bare position without a unit hits lib.mr's coordinates.
+        unscoped = session.focus(line=2, col=13)
+        assert unscoped["function"] == "alpha"
+
+        # Reference: a single-unit session must agree with the scoped query.
+        solo = AnalysisSession()
+        solo.open_unit("main", COMPUTE_SOURCE)
+        reference = solo.focus(line=line, col=col)
+        assert scoped["backward"] == reference["backward"]
+        assert scoped["forward"] == reference["forward"]
+
+    def test_position_shift_edit_serves_current_spans(self):
+        """An edit that shifts a function without changing its MIR must not
+        serve stale source spans from the cached focus table."""
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        before = session.focus(line=line, col=col)
+
+        shifted_source = "// a comment shifting everything down\n" + COMPUTE_SOURCE
+        session.update_unit("main", shifted_source)
+        after = session.focus(line=line + 1, col=col)
+        # Same MIR -> the cached table's locations are reused...
+        assert after["cache"] == "hit"
+        # ...but every span tracks the text's new position.
+        shift = lambda spans: [[s[0] + 1, s[1], s[2] + 1, s[3]] for s in spans]
+        assert after["backward"]["spans"] == shift(before["backward"]["spans"])
+        assert after["forward"]["spans"] == shift(before["forward"]["spans"])
+        assert after["seed_span"][0] == before["seed_span"][0] + 1
+
+        # slice spans and lines must agree with each other post-shift.
+        response = session.slice("compute", "z")
+        span_lines = {l for s in response["spans"] for l in range(s[0], s[2] + 1)}
+        assert set(response["lines"]) <= span_lines
+
+    def test_cursor_on_binding_inside_return_expression(self):
+        source = (
+            "fn f(a: u32, c: bool) -> u32 {\n"
+            "    return if c { let q = a + 1; q } else { a };\n"
+            "}\n"
+        )
+        checked, lowered = lowered_from(source)
+        line, col = find_pos(source, "let q")
+        target = resolve_cursor(checked, lowered, line, col + 4)
+        assert target.label == "q"
+
+    def test_focus_unknown_unit_typed_error(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        with pytest.raises(QueryError) as excinfo:
+            session.focus(line=1, col=1, unit="nope.mr")
+        assert excinfo.value.code == QueryError.UNKNOWN_UNIT
+
+    def test_slice_reports_spans(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        response = session.slice("compute", "z")
+        assert response["spans"]
+        assert response["lines"]
+
+
+# ---------------------------------------------------------------------------
+# Typed protocol errors (satellite: structured errors)
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolErrorCodes:
+    def make_service(self) -> AnalysisService:
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        return AnalysisService(session)
+
+    def test_unknown_function_code(self):
+        response = self.make_service().handle(
+            {"id": 1, "method": "slice", "params": {"function": "nope", "variable": "x"}}
+        )
+        assert not response["ok"]
+        assert response["error_code"] == "unknown_function"
+
+    def test_unknown_variable_code(self):
+        response = self.make_service().handle(
+            {"id": 1, "method": "slice",
+             "params": {"function": "compute", "variable": "nope"}}
+        )
+        assert response["error_code"] == "unknown_variable"
+
+    def test_position_out_of_range_code(self):
+        response = self.make_service().handle(
+            {"id": 1, "method": "focus", "params": {"line": 99, "col": 1}}
+        )
+        assert response["error_code"] == "position_out_of_range"
+
+    def test_protocol_error_code(self):
+        response = self.make_service().handle({"id": 1, "method": "bogus"})
+        assert response["error_code"] == "protocol_error"
+
+    def test_no_workspace_code(self):
+        response = AnalysisService().handle({"id": 1, "method": "analyze", "params": {}})
+        assert response["error_code"] == "no_workspace"
+
+    def test_focus_request_round_trip(self):
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        response = self.make_service().handle(
+            {"id": 7, "method": "focus", "params": {"line": line, "col": col}}
+        )
+        assert response["ok"]
+        assert response["result"]["target"] == "x"
+        assert response["result"]["forward"]["spans"]
+
+
+# ---------------------------------------------------------------------------
+# LSP-lite JSON-RPC server
+# ---------------------------------------------------------------------------
+
+
+class TestFocusServer:
+    def run_messages(self, messages):
+        in_stream = io.StringIO("\n".join(json.dumps(m) for m in messages) + "\n")
+        out_stream = io.StringIO()
+        assert serve_jsonrpc(in_stream, out_stream) == 0
+        return [json.loads(line) for line in out_stream.getvalue().splitlines()]
+
+    def test_span_to_range_is_zero_based(self):
+        assert span_to_range(Span(2, 5, 2, 8)) == {
+            "start": {"line": 1, "character": 4},
+            "end": {"line": 1, "character": 7},
+        }
+
+    def test_full_editor_session(self):
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        responses = self.run_messages([
+            {"jsonrpc": "2.0", "id": 1, "method": "initialize", "params": {}},
+            {"jsonrpc": "2.0", "method": "textDocument/didOpen",
+             "params": {"textDocument": {"uri": "file:///m.mr", "text": COMPUTE_SOURCE}}},
+            {"jsonrpc": "2.0", "id": 2, "method": "repro/focus",
+             "params": {"position": {"line": line - 1, "character": col - 1}}},
+            {"jsonrpc": "2.0", "id": 3, "method": "shutdown"},
+            {"jsonrpc": "2.0", "method": "exit"},
+        ])
+        # Notifications get no responses: initialize, focus, shutdown only.
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert responses[0]["result"]["capabilities"]["reproFocusProvider"]
+        focus = responses[1]["result"]
+        assert focus["target"] == "x"
+        assert focus["seedRange"]["start"]["line"] == line - 1
+        assert focus["forward"]
+
+    def test_edit_through_did_change_invalidates(self):
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        uri = "file:///m.mr"
+        server = FocusServer()
+        server.handle({"jsonrpc": "2.0", "method": "textDocument/didOpen",
+                       "params": {"textDocument": {"uri": uri, "text": COMPUTE_SOURCE}}})
+        first = server.handle({"jsonrpc": "2.0", "id": 1, "method": "repro/focus",
+                               "params": {"position": {"line": line - 1, "character": col - 1}}})
+        assert first["result"]["cache"] == "miss"
+        edited = COMPUTE_SOURCE.replace("let x = a + 1;", "let x = a + b + 1;")
+        server.handle({"jsonrpc": "2.0", "method": "textDocument/didChange",
+                       "params": {"textDocument": {"uri": uri},
+                                  "contentChanges": [{"text": edited}]}})
+        second = server.handle({"jsonrpc": "2.0", "id": 2, "method": "repro/focus",
+                                "params": {"position": {"line": line - 1, "character": col - 1}}})
+        assert second["result"]["cache"] == "miss"
+        assert second["result"]["backward"] != first["result"]["backward"]
+
+    def test_typed_error_payloads(self):
+        responses = self.run_messages([
+            {"jsonrpc": "2.0", "id": 1, "method": "repro/focus",
+             "params": {"position": {"line": 0, "character": 0}}},
+            {"jsonrpc": "2.0", "id": 2, "method": "nope"},
+            {"jsonrpc": "2.0", "method": "exit"},
+        ])
+        assert responses[0]["error"]["data"]["code"] == "no_workspace"
+        assert responses[1]["error"]["code"] == -32601
+
+    def test_focus_scoped_to_addressed_document(self):
+        """Two open documents: repro/focus must resolve within the document
+        named by textDocument.uri, in that document's coordinates."""
+        other = "fn alpha(q: u32) -> u32 {\n    let w = q + 7;\n    w\n}\n"
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        server = FocusServer()
+        for uri, text in (("file:///lib.mr", other), ("file:///main.mr", COMPUTE_SOURCE)):
+            server.handle({"jsonrpc": "2.0", "method": "textDocument/didOpen",
+                           "params": {"textDocument": {"uri": uri, "text": text}}})
+        response = server.handle({
+            "jsonrpc": "2.0", "id": 1, "method": "repro/focus",
+            "params": {"textDocument": {"uri": "file:///main.mr"},
+                       "position": {"line": line - 1, "character": col - 1}},
+        })
+        result = response["result"]
+        assert result["function"] == "compute"
+        assert result["seedRange"]["start"]["line"] == line - 1
+
+    def test_unknown_notification_is_ignored(self):
+        responses = self.run_messages([
+            {"jsonrpc": "2.0", "method": "window/didBlink"},
+            {"jsonrpc": "2.0", "id": 1, "method": "repro/stats"},
+            {"jsonrpc": "2.0", "method": "exit"},
+        ])
+        assert len(responses) == 1
+
+
+# ---------------------------------------------------------------------------
+# Rendering and CLI
+# ---------------------------------------------------------------------------
+
+
+class TestRenderAndCli:
+    def test_marker_render_places_seed_and_directions(self):
+        seed = Span(2, 5, 2, 6)
+        rendered = render_focus_markers(
+            "ab\nxyz w\n", seed,
+            backward=(Span(1, 1, 1, 3),), forward=(Span(2, 1, 2, 4),),
+        )
+        lines = rendered.splitlines()
+        assert lines[0].endswith("ab")
+        assert "<<" in lines[1]
+        assert ">>>" in lines[2 + 1]
+        assert "^" in lines[3]
+
+    def test_render_focus_response_headers(self):
+        session = AnalysisSession()
+        session.open_unit("main", COMPUTE_SOURCE)
+        response = session.focus(function="compute", variable="z")
+        text = render_focus_response(COMPUTE_SOURCE, response)
+        assert text.startswith("// focus on `z` in compute")
+        assert "^" in text
+
+    def test_cli_focus_by_cursor(self, tmp_path, capsys):
+        path = tmp_path / "m.mr"
+        path.write_text(COMPUTE_SOURCE, encoding="utf-8")
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        out = io.StringIO()
+        code = main(["focus", str(path), "--line", str(line), "--col", str(col)], out=out)
+        assert code == 0
+        assert "focus on `x`" in out.getvalue()
+
+    def test_cli_focus_json_and_direction_alias(self, tmp_path):
+        path = tmp_path / "m.mr"
+        path.write_text(COMPUTE_SOURCE, encoding="utf-8")
+        out = io.StringIO()
+        code = main([
+            "focus", str(path), "--function", "compute", "--variable", "y",
+            "--direction", "fwd", "--json",
+        ], out=out)
+        assert code == 0
+        payload = json.loads(out.getvalue())
+        assert payload["direction"] == "forward"
+        assert "backward" not in payload
+
+    def test_cli_focus_error_exits_nonzero(self, tmp_path):
+        path = tmp_path / "m.mr"
+        path.write_text(COMPUTE_SOURCE, encoding="utf-8")
+        out = io.StringIO()
+        code = main(["focus", str(path), "--line", "99", "--col", "1"], out=out)
+        assert code == 2
+        assert "error" in out.getvalue()
+
+    def test_cli_query_focus_warm_repeat(self, tmp_path):
+        path = tmp_path / "m.mr"
+        path.write_text(COMPUTE_SOURCE, encoding="utf-8")
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        out = io.StringIO()
+        code = main([
+            "query", str(path), "--method", "focus",
+            "--line", str(line), "--col", str(col), "--repeat", "2",
+        ], out=out)
+        assert code == 0
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert responses[0]["result"]["cache"] == "miss"
+        assert responses[1]["result"]["cache"] == "hit"
+
+    def test_cli_serve_jsonrpc(self, tmp_path):
+        path = tmp_path / "m.mr"
+        path.write_text(COMPUTE_SOURCE, encoding="utf-8")
+        requests = tmp_path / "requests.ndjson"
+        line, col = find_pos(COMPUTE_SOURCE, "x + y")
+        requests.write_text(
+            "\n".join(json.dumps(m) for m in [
+                {"jsonrpc": "2.0", "id": 1, "method": "repro/focus",
+                 "params": {"position": {"line": line - 1, "character": col - 1}}},
+                {"jsonrpc": "2.0", "method": "exit"},
+            ]) + "\n",
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = main(["serve", str(path), "--jsonrpc", "--input", str(requests)], out=out)
+        assert code == 0
+        response = json.loads(out.getvalue().splitlines()[0])
+        assert response["result"]["target"] == "x"
