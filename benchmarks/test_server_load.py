@@ -1,0 +1,101 @@
+"""Concurrent server benchmark: client swarms and restart-warm persistence.
+
+Two claims from the service roadmap are asserted here against a *real*
+socket server (thread pool, shared RW-locked sessions):
+
+1. **Concurrency never changes answers.**  The same deterministic query plan
+   is walked by swarms of 1, 4 and 16 clients; every response's
+   canonicalised result must be digest-identical to the single-client
+   baseline at every plan position.
+2. **Persistence makes restarts warm.**  A server booted on a ``persist-dir``
+   that a previous server populated must answer its first corpus query as a
+   cache hit — zero re-analysis of unchanged functions.
+
+The measured throughput / p50/p95/p99 latency table is written to
+``benchmarks/reports/server_load.txt`` and, machine-readably, to
+``benchmarks/reports/server_load.json`` (archived as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from bench_utils import write_report
+
+from repro.eval.load import (
+    render_load_report,
+    run_load_study,
+    start_corpus_server,
+)
+
+
+def _request(rfile, wfile, payload: dict) -> dict:
+    wfile.write(json.dumps(payload, sort_keys=True) + "\n")
+    wfile.flush()
+    return json.loads(rfile.readline())
+
+
+def test_server_load_swarm(corpus, report_dir):
+    report = run_load_study(corpus=corpus, client_counts=(1, 4, 16), workers=16)
+    write_report(report_dir, "server_load", render_load_report(report))
+
+    json_path = report_dir / "server_load.json"
+    json_path.write_text(
+        json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"[benchmark JSON written to {json_path}]")
+
+    assert report.plan_size > 0
+    assert [run.clients for run in report.runs] == [1, 4, 16]
+    for run in report.runs:
+        assert run.errors == 0, f"{run.clients}-client swarm saw errors"
+        assert run.requests == report.plan_size * run.clients
+        # Within one swarm every client saw the same answers...
+        assert run.consistent, f"{run.clients}-client swarm disagreed internally"
+    # ...and across swarm sizes the answers match the single-client baseline.
+    assert report.cross_run_consistent, "16-client results differ from single-client"
+
+
+def test_server_restart_answers_first_query_warm(corpus, tmp_path):
+    persist_dir = str(tmp_path / "persist")
+    crate = corpus[0]
+
+    # First life: open + fully analyse the crate, then drain and persist.
+    first = start_corpus_server([crate], workers=4, persist_dir=persist_dir, warm=True)
+    try:
+        functions = first.registry.handle(crate.name).session.function_names()
+        assert functions
+    finally:
+        saved = first.shutdown()
+    assert any(entry["workspace"] == crate.name for entry in saved)
+
+    # Second life: a fresh server over the same persist dir. Its first
+    # workspace-wide analyze must be all cache hits — nothing re-analysed.
+    second = start_corpus_server([], workers=4, persist_dir=persist_dir)
+    try:
+        sock = socket.create_connection(second.address)
+        rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+        hello = json.loads(rfile.readline())
+        assert hello["hello"] == "repro-flowistry" and hello["version"]
+
+        switched = _request(
+            rfile, wfile,
+            {"id": 1, "method": "workspace", "params": {"name": crate.name}},
+        )
+        assert switched["ok"] and switched["result"]["units"] == [crate.name]
+
+        response = _request(rfile, wfile, {"id": 2, "method": "analyze", "params": {}})
+        assert response["ok"]
+        result = response["result"]
+        assert result["cache_misses"] == 0, "restarted server re-analysed functions"
+        assert result["cache_hits"] == len(result["functions"]) == len(functions)
+        assert all(
+            entry["cache"] == "hit" for entry in result["functions"].values()
+        )
+        assert result["stats"]["disk_hits"] > 0  # served from the persisted tier
+        sock.close()
+    finally:
+        second.shutdown()

@@ -56,8 +56,7 @@ from repro.lang.parser import parse_crate, parse_program
 from repro.lang.typeck import check_program
 from repro.mir.lower import lower_program
 from repro.mir.pretty import pretty_body
-
-__version__ = "1.1.0"
+from repro.version import __version__
 
 __all__ = [
     "AnalysisConfig",

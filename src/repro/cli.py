@@ -17,13 +17,21 @@ extension) with a small set of subcommands over MiniRust source files:
   information-flow highlights (the paper's IDE "focus mode"),
 * ``repro serve [FILE]`` — run the incremental analysis service: line-delimited
   JSON requests on stdin (or ``--input``), one JSON response per line;
-  ``--jsonrpc`` speaks the LSP-lite JSON-RPC dialect instead,
+  ``--jsonrpc`` speaks the LSP-lite JSON-RPC dialect instead; ``--port`` runs
+  the **concurrent socket server** (thread-pool connection handling, NDJSON
+  and JSON-RPC multiplexed per connection, shared RW-locked sessions) with
+  ``--workers`` and ``--persist-dir`` for durable workspaces,
+* ``repro workspace save|load|list`` — persist an analysis workspace to disk
+  (manifest + warm cache tier) and restore or inspect it later,
 * ``repro query FILE`` — one-shot service query (``analyze``/``slice``/
-  ``focus``/``ifc``/``stats``); ``--repeat`` demonstrates warm-cache hits.
+  ``focus``/``ifc``/``stats``); ``--repeat`` demonstrates warm-cache hits,
+* ``repro version`` (or ``repro --version``) — the package version, as also
+  reported in the server hello message.
 
 The CLI is intentionally thin: every subcommand is a few lines over the
 public library API, and each handler returns an exit code so it can be tested
-without spawning processes.
+without spawning processes.  ``docs/PROTOCOL.md`` documents the wire
+protocols; ``docs/ARCHITECTURE.md`` maps the layers.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ from repro.core.config import AnalysisConfig
 from repro.core.engine import FlowEngine
 from repro.errors import ReproError
 from repro.mir.pretty import pretty_body
+from repro.version import __version__
 
 
 def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
@@ -75,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Flowistry-style modular information flow analysis for MiniRust",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-flowistry {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -141,6 +153,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="read requests from this file instead of stdin")
     serve_cmd.add_argument("--jsonrpc", action="store_true",
                            help="speak LSP-lite JSON-RPC 2.0 instead of the NDJSON protocol")
+    serve_cmd.add_argument("--port", type=int,
+                           help="run the concurrent socket server on this TCP port "
+                                "(0 = ephemeral; the bound port is printed in the banner)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address for --port mode (default: 127.0.0.1)")
+    serve_cmd.add_argument("--workers", type=int, default=8,
+                           help="connection thread-pool size in --port mode")
+    serve_cmd.add_argument("--persist-dir",
+                           help="workspace persistence root: sessions are restored from "
+                                "it on start and saved to it on shutdown, so a restarted "
+                                "server answers its first query warm")
+    serve_cmd.add_argument("--workspace", default="default",
+                           help="name of the (persistent) workspace to serve")
+
+    workspace = sub.add_parser(
+        "workspace", help="save, restore, and inspect persistent analysis workspaces"
+    )
+    wsub = workspace.add_subparsers(dest="ws_command", required=True)
+    ws_save = wsub.add_parser("save", help="analyse FILEs and persist the workspace")
+    ws_save.add_argument("files", nargs="+", help="MiniRust files opened as units")
+    ws_save.add_argument("--persist-dir", required=True)
+    ws_save.add_argument("--workspace", default="default")
+    ws_save.add_argument("--local-crate", default="main")
+    ws_save.add_argument("--warm", action="store_true",
+                         help="batch-analyse every function before saving, so the "
+                              "cache tier is fully populated")
+    ws_load = wsub.add_parser("load", help="restore a saved workspace and print its state")
+    ws_load.add_argument("--persist-dir", required=True)
+    ws_load.add_argument("--workspace", default="default")
+    ws_load.add_argument("--analyze", action="store_true",
+                         help="run a workspace-wide analyze after loading (shows the "
+                              "warm cache serving the first query)")
+    ws_list = wsub.add_parser("list", help="list the workspaces saved under a directory")
+    ws_list.add_argument("--persist-dir", required=True)
+
+    sub.add_parser("version", help="print the package version")
 
     query = sub.add_parser("query", help="one-shot query against the analysis service")
     query.add_argument("file")
@@ -289,23 +337,133 @@ def cmd_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _serve_socket(args: argparse.Namespace, out) -> int:
+    """The ``serve --port`` path: the concurrent thread-pool socket server."""
+    import json
+    import time
+
+    from repro.service.server import ThreadedAnalysisServer
+
+    server = ThreadedAnalysisServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        persist_dir=args.persist_dir,
+        max_entries=args.max_entries,
+        local_crate=args.local_crate,
+        default_workspace=args.workspace,
+    )
+    if args.file is not None:
+        handle = server.registry.handle(args.workspace)
+        with handle.lock.write_locked():
+            handle.session.open_unit("main", _read_source(args.file))
+            server.registry.note_mutation(handle)
+    server.start()
+    out.write(json.dumps(server.hello(), sort_keys=True) + "\n")
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.focus.server import serve_jsonrpc
+    from repro.service.persist import open_or_create_workspace, save_workspace
     from repro.service.protocol import serve
     from repro.service.session import AnalysisSession
 
-    session = AnalysisSession(
-        cache_dir=args.cache_dir,
-        max_entries=args.max_entries,
-        local_crate=args.local_crate,
-    )
+    if args.port is not None:
+        # Flags that only make sense for the stdio loops must not be
+        # silently dropped in socket mode.
+        for flag, value in (("--cache-dir", args.cache_dir),
+                            ("--input", args.input),
+                            ("--jsonrpc", args.jsonrpc or None)):
+            if value:
+                raise ReproError(
+                    f"{flag} is a stdio-mode flag and has no effect with --port; "
+                    "use --persist-dir for the socket server's disk tier "
+                    "(both dialects are always multiplexed in socket mode)"
+                )
+        return _serve_socket(args, out)
+
+    if args.persist_dir is not None:
+        session = open_or_create_workspace(
+            args.persist_dir,
+            args.workspace,
+            max_entries=args.max_entries,
+            local_crate=args.local_crate,
+        )
+    else:
+        session = AnalysisSession(
+            cache_dir=args.cache_dir,
+            max_entries=args.max_entries,
+            local_crate=args.local_crate,
+        )
     if args.file is not None:
         session.open_unit("main", _read_source(args.file))
     loop = serve_jsonrpc if args.jsonrpc else serve
-    if args.input is not None:
-        with open(args.input, "r", encoding="utf-8") as in_stream:
-            return loop(in_stream, out, session)
-    return loop(sys.stdin, out, session)
+    try:
+        if args.input is not None:
+            with open(args.input, "r", encoding="utf-8") as in_stream:
+                return loop(in_stream, out, session)
+        return loop(sys.stdin, out, session)
+    finally:
+        if args.persist_dir is not None:
+            save_workspace(session, args.persist_dir, args.workspace)
+
+
+def cmd_workspace(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.service.persist import list_workspaces, load_workspace, save_workspace
+    from repro.service.session import AnalysisSession
+
+    if args.ws_command == "save":
+        session = AnalysisSession(local_crate=args.local_crate)
+        # Unit names default to basenames; if two files share one, fall back
+        # to the paths as given so neither silently overwrites the other.
+        names = [Path(path).name for path in args.files]
+        if len(set(names)) != len(names):
+            names = list(args.files)
+        session.open_units(
+            (name, _read_source(path)) for name, path in zip(names, args.files)
+        )
+        if args.warm:
+            session.warm()
+        summary = save_workspace(session, args.persist_dir, args.workspace)
+        out.write(json.dumps(summary, sort_keys=True) + "\n")
+        return 0
+    if args.ws_command == "load":
+        session = load_workspace(args.persist_dir, args.workspace)
+        report = {
+            "workspace": args.workspace,
+            "units": session.unit_names(),
+            "functions": len(session.function_names()),
+        }
+        if args.analyze:
+            result = session.analyze()
+            report["analyze"] = {
+                "cache_hits": result["cache_hits"],
+                "cache_misses": result["cache_misses"],
+            }
+        report["stats"] = session.store.stats.to_dict()
+        out.write(json.dumps(report, sort_keys=True) + "\n")
+        return 0
+    out.write(json.dumps(list_workspaces(args.persist_dir), sort_keys=True) + "\n")
+    return 0
+
+
+def cmd_version(args: argparse.Namespace, out) -> int:
+    out.write(f"repro-flowistry {__version__}\n")
+    return 0
 
 
 def cmd_query(args: argparse.Namespace, out) -> int:
@@ -366,6 +524,8 @@ _HANDLERS = {
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,
     "serve": cmd_serve,
+    "workspace": cmd_workspace,
+    "version": cmd_version,
     "query": cmd_query,
 }
 

@@ -228,6 +228,7 @@ class QueryError(ReproError):
     UNKNOWN_FUNCTION = "unknown_function"
     UNKNOWN_VARIABLE = "unknown_variable"
     UNKNOWN_UNIT = "unknown_unit"
+    UNKNOWN_WORKSPACE = "unknown_workspace"
     NO_WORKSPACE = "no_workspace"
     POSITION_OUT_OF_RANGE = "position_out_of_range"
     NO_PLACE_AT_POSITION = "no_place_at_position"

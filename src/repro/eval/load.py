@@ -1,0 +1,341 @@
+"""Server load harness: a synthetic client swarm over the corpus crates.
+
+The ROADMAP's north star is a service that stays interactive under heavy
+concurrent traffic.  This module measures that directly: it boots a real
+:class:`~repro.service.server.ThreadedAnalysisServer` in-process, loads the
+generated evaluation corpus into one workspace per crate, and fires a swarm
+of socket clients at it — each client walking the same deterministic query
+plan (``analyze`` / ``slice`` / ``focus`` over every crate's functions) so
+that results are comparable across clients and across swarm sizes.
+
+Reported per swarm size (1/4/16 clients by default):
+
+* throughput (requests per second, wall clock over the whole swarm),
+* per-request latency percentiles (p50/p95/p99),
+* error count (any ``ok: false`` response),
+* a **consistency digest**: the SHA-256 of every response's canonicalised
+  result, per plan position.  Two runs agree iff every client of every swarm
+  saw byte-identical semantic answers — the load benchmark's correctness
+  assertion that concurrency never changes what a query returns.
+
+Canonicalisation strips the fields that legitimately vary with cache state
+and timing (``cache``, ``stats``, ``cache_hits``, ...), leaving exactly the
+semantic payload (dependency sizes, slices, spans).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.perf import percentile
+from repro.service.server import ThreadedAnalysisServer
+
+# Response fields that vary with cache temperature, timing, or server-side
+# counters — everything else must be identical across clients and runs.
+VOLATILE_KEYS = frozenset(
+    {"cache", "stats", "cache_hits", "cache_misses", "seconds", "requests_handled"}
+)
+
+
+def canonicalize(value):
+    """Strip volatile (cache/timing) fields from a response result, recursively."""
+    if isinstance(value, dict):
+        return {
+            key: canonicalize(item)
+            for key, item in value.items()
+            if key not in VOLATILE_KEYS
+        }
+    if isinstance(value, list):
+        return [canonicalize(item) for item in value]
+    return value
+
+
+def result_digest(result: dict) -> str:
+    """A short stable hash of a canonicalised result (the consistency unit)."""
+    payload = json.dumps(canonicalize(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One step of the deterministic per-client query plan."""
+
+    workspace: str
+    method: str
+    params: dict
+
+    def label(self) -> str:
+        target = self.params.get("function", "*")
+        return f"{self.workspace}:{self.method}:{target}"
+
+
+def build_query_plan(
+    server: ThreadedAnalysisServer,
+    max_functions_per_crate: int = 4,
+    max_variables_per_function: int = 2,
+) -> List[PlannedQuery]:
+    """Derive the query mix from whatever workspaces the server holds.
+
+    For each workspace (corpus crate): one workspace-wide ``analyze``, then
+    per function an ``analyze``, a backward ``slice`` and a by-name ``focus``
+    on its first variables — the interactive mix an IDE session produces.
+    """
+    plan: List[PlannedQuery] = []
+    for name in server.registry.names():
+        session = server.registry.handle(name).session
+        plan.append(PlannedQuery(name, "analyze", {}))
+        for fn_name in session.function_names()[:max_functions_per_crate]:
+            plan.append(PlannedQuery(name, "analyze", {"function": fn_name}))
+            for variable in session.variables_of(fn_name)[:max_variables_per_function]:
+                plan.append(
+                    PlannedQuery(
+                        name,
+                        "slice",
+                        {"function": fn_name, "variable": variable,
+                         "direction": "backward"},
+                    )
+                )
+                plan.append(
+                    PlannedQuery(
+                        name,
+                        "focus",
+                        {"function": fn_name, "variable": variable,
+                         "direction": "both"},
+                    )
+                )
+    return plan
+
+
+@dataclass
+class ClientRun:
+    """What one swarm client observed."""
+
+    client_id: int
+    latencies: List[float] = field(default_factory=list)
+    digests: List[str] = field(default_factory=list)
+    errors: int = 0
+
+
+class SwarmClient:
+    """One synthetic client: a socket, the shared plan, a result log."""
+
+    def __init__(self, address: Tuple[str, int], plan: Sequence[PlannedQuery], client_id: int):
+        self.address = address
+        self.plan = plan
+        self.run = ClientRun(client_id=client_id)
+
+    def __call__(self) -> ClientRun:
+        sock = socket.create_connection(self.address)
+        try:
+            rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+            wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+            rfile.readline()  # the hello line
+
+            def request(payload: dict) -> dict:
+                wfile.write(json.dumps(payload, sort_keys=True) + "\n")
+                wfile.flush()
+                line = rfile.readline()
+                return json.loads(line) if line else {"ok": False, "error": "eof"}
+
+            current_workspace: Optional[str] = None
+            for index, query in enumerate(self.plan):
+                if query.workspace != current_workspace:
+                    request({"id": f"ws-{index}", "method": "workspace",
+                             "params": {"name": query.workspace}})
+                    current_workspace = query.workspace
+                start = time.perf_counter()
+                response = request(
+                    {"id": index, "method": query.method, "params": dict(query.params)}
+                )
+                self.run.latencies.append(time.perf_counter() - start)
+                if response.get("ok"):
+                    self.run.digests.append(result_digest(response["result"]))
+                else:
+                    self.run.errors += 1
+                    self.run.digests.append("error")
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return self.run
+
+
+@dataclass
+class LoadRunResult:
+    """Aggregate measurements for one swarm size."""
+
+    clients: int
+    requests: int
+    errors: int
+    seconds: float
+    latencies: List[float]
+    digests: List[str]  # per plan position, after cross-client agreement
+    consistent: bool  # every client produced the same digest sequence
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.requests / self.seconds
+
+    def latency_ms(self, fraction: float) -> float:
+        return percentile(self.latencies, fraction) * 1e3
+
+    def to_json_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_ms": {
+                "p50": round(self.latency_ms(0.50), 4),
+                "p95": round(self.latency_ms(0.95), 4),
+                "p99": round(self.latency_ms(0.99), 4),
+            },
+            "consistent": self.consistent,
+            "plan_digest": hashlib.sha256(
+                "".join(self.digests).encode("utf-8")
+            ).hexdigest()[:16],
+        }
+
+
+def run_swarm(
+    server: ThreadedAnalysisServer, plan: Sequence[PlannedQuery], clients: int
+) -> LoadRunResult:
+    """Run ``clients`` concurrent plan walkers against a live server."""
+    workers = [SwarmClient(server.address, plan, i) for i in range(clients)]
+    threads = [
+        threading.Thread(target=worker, name=f"swarm-{worker.run.client_id}")
+        for worker in workers
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+
+    runs = [worker.run for worker in workers]
+    latencies = [lat for run in runs for lat in run.latencies]
+    digests = runs[0].digests if runs else []
+    consistent = all(run.digests == digests for run in runs)
+    return LoadRunResult(
+        clients=clients,
+        requests=sum(len(run.latencies) for run in runs),
+        errors=sum(run.errors for run in runs),
+        seconds=seconds,
+        latencies=latencies,
+        digests=list(digests),
+        consistent=consistent,
+    )
+
+
+@dataclass
+class LoadReport:
+    """The full load study: one result per swarm size plus cross-run checks."""
+
+    plan_size: int
+    workspaces: List[str]
+    runs: List[LoadRunResult]
+    cross_run_consistent: bool  # every swarm size agreed on every answer
+
+    def to_json_dict(self) -> dict:
+        return {
+            "plan_size": self.plan_size,
+            "workspaces": self.workspaces,
+            "runs": [run.to_json_dict() for run in self.runs],
+            "cross_run_consistent": self.cross_run_consistent,
+        }
+
+
+def start_corpus_server(
+    corpus,
+    workers: int = 16,
+    persist_dir: Optional[str] = None,
+    warm: bool = False,
+) -> ThreadedAnalysisServer:
+    """Boot a server pre-loaded with one workspace per corpus crate."""
+    server = ThreadedAnalysisServer(
+        port=0, workers=workers, persist_dir=persist_dir
+    )
+    for crate in corpus:
+        handle = server.registry.handle(crate.name)
+        with handle.lock.write_locked():
+            handle.session.local_crate = crate.name
+            handle.session.open_unit(crate.name, crate.source)
+            if warm:
+                handle.session.warm()
+            server.registry.note_mutation(handle)
+    return server.start()
+
+
+def run_load_study(
+    corpus=None,
+    client_counts: Sequence[int] = (1, 4, 16),
+    scale: float = 0.15,
+    workers: int = 16,
+    persist_dir: Optional[str] = None,
+    max_functions_per_crate: int = 4,
+    max_variables_per_function: int = 2,
+) -> LoadReport:
+    """The headline study: the same plan at every swarm size, one server.
+
+    The single-client run doubles as the correctness baseline: every larger
+    swarm must produce digest-identical answers at every plan position.
+    """
+    from repro.eval.corpus import generate_corpus
+
+    if corpus is None:
+        corpus = generate_corpus(scale=scale)
+    server = start_corpus_server(corpus, workers=workers, persist_dir=persist_dir)
+    try:
+        plan = build_query_plan(
+            server,
+            max_functions_per_crate=max_functions_per_crate,
+            max_variables_per_function=max_variables_per_function,
+        )
+        runs = [run_swarm(server, plan, clients) for clients in client_counts]
+        baseline = runs[0].digests
+        cross = all(run.digests == baseline for run in runs) and all(
+            run.consistent for run in runs
+        )
+        return LoadReport(
+            plan_size=len(plan),
+            workspaces=server.registry.names(),
+            runs=runs,
+            cross_run_consistent=cross,
+        )
+    finally:
+        server.shutdown()
+
+
+def render_load_report(report: LoadReport) -> str:
+    """Text rendering of the load study (the benchmark's report artifact)."""
+    lines = [
+        "Concurrent server load study "
+        f"({report.plan_size} queries/client over {len(report.workspaces)} workspaces):",
+        "",
+        "  clients  requests  errors  throughput     p50 ms     p95 ms     p99 ms  consistent",
+    ]
+    for run in report.runs:
+        row = run.to_json_dict()
+        lat = row["latency_ms"]
+        lines.append(
+            f"  {run.clients:7d}  {run.requests:8d}  {run.errors:6d}  "
+            f"{row['throughput_rps']:7.1f}/s  {lat['p50']:9.3f}  {lat['p95']:9.3f}  "
+            f"{lat['p99']:9.3f}  {str(run.consistent).lower()}"
+        )
+    lines.append("")
+    lines.append(
+        "  cross-swarm results identical to single-client baseline: "
+        + str(report.cross_run_consistent).lower()
+    )
+    return "\n".join(lines)

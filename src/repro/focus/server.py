@@ -27,6 +27,7 @@ from typing import IO, Any, Dict, Optional
 
 from repro.errors import QueryError, ReproError, Span
 from repro.service.session import AnalysisSession
+from repro.version import __version__
 
 
 # JSON-RPC 2.0 well-known codes.
@@ -61,6 +62,7 @@ class FocusServer:
     # -- framing -----------------------------------------------------------------
 
     def handle_line(self, line: str) -> Optional[dict]:
+        """Parse one NDJSON-framed JSON-RPC message and dispatch it."""
         try:
             message = json.loads(line)
         except json.JSONDecodeError as error:
@@ -126,7 +128,7 @@ class FocusServer:
                 "textDocumentSync": {"openClose": True, "change": 1},  # 1 = full
                 "reproFocusProvider": True,
             },
-            "serverInfo": {"name": "repro-focus", "version": "1"},
+            "serverInfo": {"name": "repro-focus", "version": __version__},
         }
 
     def _method_initialized(self, params: dict) -> None:

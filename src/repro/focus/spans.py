@@ -71,6 +71,7 @@ def spans_to_json(spans: Iterable[Span]) -> List[List[int]]:
 
 
 def spans_from_json(data: Iterable[Sequence[int]]) -> Tuple[Span, ...]:
+    """Rebuild a span tuple from its JSON ``[l0, c0, l1, c1]`` lists."""
     return tuple(Span.from_tuple(item) for item in data)
 
 

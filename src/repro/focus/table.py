@@ -72,6 +72,7 @@ class FocusEntry:
     forward_spans: Tuple[Span, ...]
 
     def to_json_dict(self) -> dict:
+        """One tabulated place as JSON (locations + normalised spans)."""
         return {
             "place": _place_to_json(self.place),
             "label": self.label,
@@ -84,6 +85,7 @@ class FocusEntry:
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "FocusEntry":
+        """Rebuild one entry from :meth:`to_json_dict` output."""
         return cls(
             place=_place_from_json(data["place"]),
             label=str(data["label"]),
@@ -135,6 +137,7 @@ class FocusTable:
         return entry
 
     def labels(self) -> List[str]:
+        """The printable labels of every tabulated place, sorted."""
         return sorted(self.entries)
 
     # -- construction -------------------------------------------------------------
@@ -250,6 +253,7 @@ class FocusTable:
     # -- serialisation ------------------------------------------------------------
 
     def to_json_dict(self) -> dict:
+        """The whole table as the JSON value cached in the SummaryStore."""
         return {
             "fn_name": self.fn_name,
             "condition": self.condition,
@@ -262,6 +266,7 @@ class FocusTable:
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "FocusTable":
+        """Rebuild a table from :meth:`to_json_dict` output (a warm hit)."""
         table = cls(
             fn_name=str(data["fn_name"]),
             condition=str(data["condition"]),

@@ -16,7 +16,13 @@ library into a long-lived service that exploits that modularity:
   mutable workspace of MiniRust sources and answering analyze/slice/ifc
   queries through the cache,
 * :mod:`repro.service.protocol` — a line-delimited JSON request/response
-  protocol driving a session over stdio (``repro serve`` / ``repro query``).
+  protocol driving a session over stdio (``repro serve`` / ``repro query``),
+* :mod:`repro.service.locks` — the readers–writer lock shared sessions use,
+* :mod:`repro.service.persist` — on-disk workspace persistence (manifest +
+  cache tier) so a restarted server answers its first query warm,
+* :mod:`repro.service.server` — the concurrent front door: a thread-pool TCP
+  server multiplexing NDJSON and JSON-RPC clients over shared, RW-locked,
+  persistent sessions (``repro serve --port``).
 """
 
 from repro.service.cache import (
@@ -29,9 +35,23 @@ from repro.service.cache import (
     config_cache_key,
 )
 from repro.service.invalidate import InvalidationPlan, apply_invalidation, plan_invalidation
+from repro.service.locks import RWLock
+from repro.service.persist import (
+    has_workspace,
+    list_workspaces,
+    load_workspace,
+    open_or_create_workspace,
+    save_workspace,
+)
 from repro.service.scheduler import BatchResult, BatchScheduler, schedule_waves
 from repro.service.session import AnalysisSession
 from repro.service.protocol import AnalysisService, serve
+from repro.service.server import (
+    ConnectionHandler,
+    SessionHandle,
+    ThreadedAnalysisServer,
+    WorkspaceRegistry,
+)
 
 __all__ = [
     "AnalysisService",
@@ -40,14 +60,24 @@ __all__ = [
     "BatchScheduler",
     "CacheKey",
     "CacheStats",
+    "ConnectionHandler",
     "FingerprintIndex",
     "FunctionRecord",
     "InvalidationPlan",
+    "RWLock",
+    "SessionHandle",
     "StoreBackedSummaryProvider",
     "SummaryStore",
+    "ThreadedAnalysisServer",
+    "WorkspaceRegistry",
     "apply_invalidation",
     "config_cache_key",
+    "has_workspace",
+    "list_workspaces",
+    "load_workspace",
+    "open_or_create_workspace",
     "plan_invalidation",
+    "save_workspace",
     "schedule_waves",
     "serve",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -64,6 +65,7 @@ def config_cache_key(config: AnalysisConfig) -> str:
 
 
 def condition_is_whole_program(condition: str) -> bool:
+    """Whether a rendered condition key names the whole-program condition."""
     return "whole_program=1" in condition.split(",")
 
 
@@ -77,9 +79,11 @@ class CacheKey:
     condition: str
 
     def file_name(self) -> str:
+        """The disk-tier file name: a digest of the full key, ``.json``."""
         return _digest(f"{self.kind}|{self.fn_name}|{self.fingerprint}|{self.condition}") + ".json"
 
     def to_json_dict(self) -> Dict[str, str]:
+        """The key's JSON form (stored next to the value for verification)."""
         return {
             "kind": self.kind,
             "fn_name": self.fn_name,
@@ -89,6 +93,7 @@ class CacheKey:
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, str]) -> "CacheKey":
+        """Rebuild a key from :meth:`to_json_dict` output."""
         return cls(
             kind=str(data["kind"]),
             fn_name=str(data["fn_name"]),
@@ -123,6 +128,7 @@ class FingerprintIndex:
         self._cone: Dict[str, str] = {}
 
     def signature_fingerprint(self, name: str) -> str:
+        """Fingerprint of the function's rendered signature (any function)."""
         if name not in self._sig:
             sig = self.signatures.get(name)
             rendered = sig.pretty() if sig is not None else f"<unknown {name}>"
@@ -166,11 +172,13 @@ class FingerprintIndex:
         return self._cone[name]
 
     def record_fingerprint(self, name: str, config: AnalysisConfig) -> str:
+        """The content fingerprint a query under ``config`` is keyed by."""
         if config.whole_program:
             return self.cone_fingerprint(name)
         return self.shallow_fingerprint(name)
 
     def record_key(self, name: str, config: AnalysisConfig) -> CacheKey:
+        """Store key for the function's query-facing analysis record."""
         return CacheKey(
             kind=KIND_RECORD,
             fn_name=name,
@@ -193,6 +201,7 @@ class FingerprintIndex:
         )
 
     def summary_key(self, name: str, config: AnalysisConfig) -> CacheKey:
+        """Store key for a callee's whole-program summary (cone-addressed)."""
         return CacheKey(
             kind=KIND_SUMMARY,
             fn_name=name,
@@ -222,6 +231,7 @@ class CacheStats:
     disk_writes: int = 0
 
     def to_dict(self) -> Dict[str, int]:
+        """The counters as the JSON ``stats`` block responses carry."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -234,7 +244,13 @@ class CacheStats:
 
 
 class SummaryStore:
-    """Two-tier (memory LRU + optional JSON directory) cache of JSON values."""
+    """Two-tier (memory LRU + optional JSON directory) cache of JSON values.
+
+    The store is thread-safe: every public operation holds an internal
+    reentrant lock, so the concurrent server can share one store across many
+    reader threads (LRU reordering and stats counters mutate on ``get``, so
+    even logically read-only traffic needs the lock).
+    """
 
     def __init__(self, max_entries: int = 4096, disk_dir: Optional[Path] = None):
         if max_entries < 1:
@@ -244,6 +260,7 @@ class SummaryStore:
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[CacheKey, dict]" = OrderedDict()
         # Every key seen this process, per function name: the index used by
         # name-based invalidation (content addressing already guarantees that
@@ -251,10 +268,12 @@ class SummaryStore:
         self._by_name: Dict[str, Set[CacheKey]] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # -- tiers -----------------------------------------------------------------
 
@@ -293,22 +312,30 @@ class SummaryStore:
     # -- public API -------------------------------------------------------------
 
     def get(self, key: CacheKey) -> Optional[dict]:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        value = self._load_from_disk(key)
-        if value is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._insert(key, value, write_disk=False)
-            return value
-        self.stats.misses += 1
-        return None
+        """The cached value for ``key``, consulting memory then disk.
+
+        A memory hit refreshes the entry's LRU position; a disk hit promotes
+        the entry back into the memory tier.  Returns ``None`` on a miss.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            value = self._load_from_disk(key)
+            if value is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, value, write_disk=False)
+                return value
+            self.stats.misses += 1
+            return None
 
     def put(self, key: CacheKey, value: dict) -> None:
-        self._insert(key, value, write_disk=True)
-        self.stats.puts += 1
+        """Store ``value`` under ``key`` in memory and (if enabled) on disk."""
+        with self._lock:
+            self._insert(key, value, write_disk=True)
+            self.stats.puts += 1
 
     def _insert(self, key: CacheKey, value: dict, write_disk: bool) -> None:
         self._entries[key] = value
@@ -337,39 +364,68 @@ class SummaryStore:
         ``predicate`` restricts which keys are dropped (e.g. only
         whole-program conditions).  Returns the number of entries removed.
         """
-        removed = 0
-        keys = sorted(
-            self._by_name.get(fn_name, ()),
-            key=lambda k: (k.kind, k.condition, k.fingerprint),
-        )
-        for key in keys:
-            if predicate is not None and not predicate(key):
-                continue
-            self._by_name[fn_name].discard(key)
-            in_memory = self._entries.pop(key, None) is not None
-            on_disk = False
-            path = self._disk_path(key)
-            if path is not None and path.is_file():
-                try:
-                    path.unlink()
-                    on_disk = True
-                except OSError:
-                    pass
-            if in_memory or on_disk:
-                removed += 1
-        self.stats.invalidations += removed
-        return removed
+        with self._lock:
+            removed = 0
+            keys = sorted(
+                self._by_name.get(fn_name, ()),
+                key=lambda k: (k.kind, k.condition, k.fingerprint),
+            )
+            for key in keys:
+                if predicate is not None and not predicate(key):
+                    continue
+                self._by_name[fn_name].discard(key)
+                in_memory = self._entries.pop(key, None) is not None
+                on_disk = False
+                path = self._disk_path(key)
+                if path is not None and path.is_file():
+                    try:
+                        path.unlink()
+                        on_disk = True
+                    except OSError:
+                        pass
+                if in_memory or on_disk:
+                    removed += 1
+            self.stats.invalidations += removed
+            return removed
 
     def clear(self) -> None:
         """Wipe both tiers: a cleared entry must not resurrect from disk."""
-        self._entries.clear()
-        self._by_name.clear()
-        if self.disk_dir is not None:
-            for path in self.disk_dir.glob("*.json"):
+        with self._lock:
+            self._entries.clear()
+            self._by_name.clear()
+            if self.disk_dir is not None:
+                for path in self.disk_dir.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def flush_to(self, disk_dir: Path) -> int:
+        """Write every in-memory entry into ``disk_dir`` (the disk-tier format).
+
+        Used by workspace persistence to snapshot a memory-only store into a
+        directory that a future :class:`SummaryStore` can adopt as its disk
+        tier.  When ``disk_dir`` is already this store's own disk tier the
+        entries were written through on ``put`` and this is a cheap no-op
+        refresh.  Returns the number of entries written.
+        """
+        with self._lock:
+            disk_dir = Path(disk_dir)
+            disk_dir.mkdir(parents=True, exist_ok=True)
+            written = 0
+            for key, value in self._entries.items():
+                path = disk_dir / key.file_name()
                 try:
-                    path.unlink()
+                    path.write_text(
+                        json.dumps(
+                            {"key": key.to_json_dict(), "value": value}, sort_keys=True
+                        ),
+                        encoding="utf-8",
+                    )
+                    written += 1
                 except OSError:
-                    pass
+                    continue
+            return written
 
 
 @dataclass
@@ -389,6 +445,7 @@ class FunctionRecord:
     exit_deps: Dict[str, List[Tuple[int, int]]]
 
     def to_json_dict(self) -> dict:
+        """The record as the JSON value stored in the :class:`SummaryStore`."""
         return {
             "fn_name": self.fn_name,
             "crate": self.crate,
@@ -402,6 +459,7 @@ class FunctionRecord:
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "FunctionRecord":
+        """Rebuild a record from :meth:`to_json_dict` output (lossless)."""
         return cls(
             fn_name=str(data["fn_name"]),
             crate=str(data["crate"]),
@@ -418,6 +476,7 @@ class FunctionRecord:
     def from_result(
         cls, result: FunctionFlowResult, fingerprint: str, condition: str
     ) -> "FunctionRecord":
+        """Serialise a fresh analysis result into its cacheable record."""
         body = result.body
         theta = result.exit_theta
         exit_deps: Dict[str, List[Tuple[int, int]]] = {}
@@ -440,6 +499,7 @@ class FunctionRecord:
     # -- derived views ----------------------------------------------------------
 
     def deps_of(self, variable: str) -> List[Location]:
+        """The variable's exit-Θ dependency locations, deserialised."""
         if variable not in self.exit_deps:
             raise KeyError(f"function {self.fn_name!r} has no variable {variable!r}")
         return [Location(block, statement) for block, statement in self.exit_deps[variable]]
@@ -468,6 +528,7 @@ class StoreBackedSummaryProvider(RecursiveSummaryProvider):
     def lookup_summary(
         self, callee: str, body: Body
     ) -> Optional[Tuple[WholeProgramSummary, int]]:
+        """A stored ``(summary, height)`` for ``callee``, or ``None`` on miss."""
         key = self.fingerprints.summary_key(callee, self.engine.config)
         data = self.store.get(key)
         if data is None or "summary" not in data:
@@ -480,5 +541,6 @@ class StoreBackedSummaryProvider(RecursiveSummaryProvider):
     def store_summary(
         self, callee: str, body: Body, summary: WholeProgramSummary, height: int
     ) -> None:
+        """Persist a freshly computed callee summary with its height."""
         key = self.fingerprints.summary_key(callee, self.engine.config)
         self.store.put(key, {"summary": summary.to_json_dict(), "height": height})

@@ -41,9 +41,11 @@ class InvalidationPlan:
     evict: Dict[str, str] = field(default_factory=dict)
 
     def evicted_functions(self) -> List[str]:
+        """The names this plan evicts, sorted."""
         return sorted(self.evict)
 
     def to_json_dict(self) -> dict:
+        """The plan as carried in ``open``/``update`` responses."""
         return {
             "whole_program": self.whole_program,
             "body_changed": sorted(self.body_changed),

@@ -1,0 +1,99 @@
+"""Readers–writer locking for shared analysis sessions.
+
+The concurrent server (:mod:`repro.service.server`) shares one
+:class:`~repro.service.session.AnalysisSession` per workspace across every
+connected client, so that all of them hit the same warm cache.  Queries
+(``analyze``/``slice``/``focus``/...) only *read* the workspace and may run
+concurrently; workspace mutations (``open``/``update``/``close``/``warm``)
+rebuild derived state and must run alone.  :class:`RWLock` encodes exactly
+that policy.
+
+The lock is writer-preferring: once a writer is waiting, new readers queue
+behind it, so a stream of focus queries cannot starve an edit indefinitely —
+the interactive contract is that an edit lands promptly and the queries that
+follow it see the new workspace generation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """A writer-preferring readers–writer lock.
+
+    Any number of readers may hold the lock simultaneously; a writer holds it
+    exclusively.  Waiting writers block new readers (writer preference).  The
+    lock is not reentrant in either mode and not upgradable: a reader must
+    release before acquiring the write side.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- core protocol -----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer holds or is waiting for the lock, then enter."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Exit the read side; wakes waiters when the last reader leaves."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the lock is completely free, then enter exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Exit the write side and wake every waiter."""
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared (query) access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive (mutation) access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    @contextmanager
+    def locked(self, write: bool):
+        """Dispatching helper: read or write access by flag."""
+        if write:
+            with self.write_locked():
+                yield self
+        else:
+            with self.read_locked():
+                yield self

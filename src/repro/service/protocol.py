@@ -19,7 +19,11 @@ instead of parsing messages.  The ``shutdown`` method ends the loop (EOF
 does too).
 
 Methods: ``open``, ``update``, ``close``, ``analyze``, ``slice``, ``focus``,
-``ifc``, ``warm``, ``stats``, ``ping``, ``shutdown``.
+``ifc``, ``warm``, ``stats``, ``version``, ``ping``, ``shutdown``.  The
+concurrent front door (:mod:`repro.service.server`) adds a mux-level
+``workspace`` method and serves this dialect alongside JSON-RPC on the same
+sockets.  ``docs/PROTOCOL.md`` documents every request/response shape with
+replayable transcripts.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from typing import IO, Optional
 from repro.core.config import AnalysisConfig
 from repro.errors import QueryError, ReproError
 from repro.service.session import AnalysisSession
+from repro.version import __version__
 
 
 class ProtocolError(ReproError):
@@ -68,6 +73,7 @@ class AnalysisService:
         return {"id": request_id, "ok": False, "error": message, "error_code": code}
 
     def handle_line(self, line: str) -> dict:
+        """Parse one NDJSON request line and dispatch it; never raises."""
         try:
             request = json.loads(line)
         except json.JSONDecodeError as error:
@@ -79,6 +85,12 @@ class AnalysisService:
         return self.handle(request)
 
     def handle(self, request: dict) -> dict:
+        """Dispatch one parsed request to its ``_method_*`` handler.
+
+        Always returns a response object; every failure mode maps to an
+        ``ok: false`` response with a stable ``error_code`` — the loop (and
+        the server connection above it) survives anything a query throws.
+        """
         request_id = request.get("id")
         self.requests_handled += 1
         try:
@@ -111,7 +123,14 @@ class AnalysisService:
     # -- methods -----------------------------------------------------------------
 
     def _method_ping(self, params: dict) -> dict:
-        return {"pong": True, "requests_handled": self.requests_handled}
+        return {
+            "pong": True,
+            "version": __version__,
+            "requests_handled": self.requests_handled,
+        }
+
+    def _method_version(self, params: dict) -> dict:
+        return {"name": "repro-flowistry", "version": __version__}
 
     def _method_open(self, params: dict) -> dict:
         source = params.get("source")

@@ -173,9 +173,11 @@ class BatchResult:
     error: Optional[str] = None  # why a parallel request fell back, if it did
 
     def computed(self) -> int:
+        """How many functions were actually (re)analysed this batch."""
         return len(self.records)
 
     def to_json_dict(self) -> dict:
+        """The batch outcome as carried in ``warm`` responses."""
         return {
             "mode": self.mode,
             "waves": [len(wave) for wave in self.waves],

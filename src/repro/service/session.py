@@ -15,8 +15,9 @@ workspace size.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.apps.ifc import IfcChecker, IfcPolicy
 from repro.apps.slicer import lines_of_locations
@@ -77,15 +78,37 @@ class AnalysisSession:
         # (condition, fn_name, fingerprint) -> FunctionFlowResult; rich objects
         # for slice/forward queries, keyed by content so edits self-invalidate.
         self._result_memo: Dict[Tuple[str, str, str], FunctionFlowResult] = {}
+        # Serialises cache-miss computation when the session is shared across
+        # threads (the concurrent server's read path): warm queries are pure
+        # store lookups and stay fully concurrent, but the dataflow engines
+        # keep per-run state (the recursive summary provider's taint/height
+        # tracking), so only one thread may be *computing* at a time.
+        self._compute_lock = threading.RLock()
+        # Counter increments happen on the concurrent query path too.
+        self._counter_lock = threading.Lock()
+
+    def _bump(self, counter: str) -> None:
+        """Increment one stats counter without losing concurrent updates."""
+        with self._counter_lock:
+            self.counters[counter] += 1
 
     # -- workspace ---------------------------------------------------------------
 
     @property
     def source(self) -> str:
+        """The joined workspace source (units concatenated with newlines)."""
         return "\n".join(self._units.values())
 
     def unit_names(self) -> List[str]:
+        """The open units' names, in workspace (concatenation) order."""
         return list(self._units)
+
+    def units(self) -> List[Tuple[str, str]]:
+        """``(name, source)`` of every open unit, in workspace order.
+
+        The snapshot that workspace persistence serialises into the manifest.
+        """
+        return list(self._units.items())
 
     def open_unit(self, name: str, source: str) -> dict:
         """Open (or replace — an *edit*) one source unit.
@@ -107,11 +130,33 @@ class AnalysisSession:
             raise
 
     def update_unit(self, name: str, source: str) -> dict:
+        """Apply an edit to an already-open unit (errors on unknown units)."""
         if name not in self._units:
             raise QueryError(f"no open unit named {name!r}", code=QueryError.UNKNOWN_UNIT)
         return self.open_unit(name, source)
 
+    def open_units(self, units: Iterable[Tuple[str, str]]) -> dict:
+        """Open (or replace) several units with a *single* workspace rebuild.
+
+        Units in one workspace may reference each other's functions, so
+        opening them one at a time can fail on intermediate states that are
+        not closed under calls.  This entry point — used by workspace
+        restore — installs the whole batch and rebuilds once, with the same
+        transactional guarantee as :meth:`open_unit`: on failure the unit map
+        and derived state are exactly as before.
+        """
+        items = list(units)
+        previous = OrderedDict(self._units)
+        for name, source in items:
+            self._units[str(name)] = source
+        try:
+            return self._rebuild()
+        except Exception:
+            self._units = previous
+            raise
+
     def close_unit(self, name: str) -> dict:
+        """Remove one unit from the workspace (transactional, like ``open``)."""
         if name not in self._units:
             raise QueryError(f"no open unit named {name!r}", code=QueryError.UNKNOWN_UNIT)
         previous = self._units[name]
@@ -180,7 +225,7 @@ class AnalysisSession:
             for plan in plans.values():
                 evicted_entries += apply_invalidation(self.store, plan)
                 self._purge_memo(plan)
-            self.counters["edits"] += 1
+            self._bump("edits")
         self.last_plans = plans
 
         return {
@@ -228,15 +273,22 @@ class AnalysisSession:
         return [local.name for local in body.user_locals() if local.name is not None]
 
     def engine(self, config: AnalysisConfig) -> FlowEngine:
+        """The (lazily created, per-condition) flow engine for ``config``.
+
+        Whole-program engines are wired to the store-backed summary provider
+        so their callee summaries round-trip through the cache.
+        """
         self._require_workspace()
         key = config_cache_key(config)
         if key not in self._engines:
-            engine = FlowEngine(self._checked, lowered=self._lowered, config=config)
-            if config.whole_program:
-                engine.set_provider(
-                    StoreBackedSummaryProvider(engine, self.store, self._fingerprints)
-                )
-            self._engines[key] = engine
+            with self._compute_lock:
+                if key not in self._engines:
+                    engine = FlowEngine(self._checked, lowered=self._lowered, config=config)
+                    if config.whole_program:
+                        engine.set_provider(
+                            StoreBackedSummaryProvider(engine, self.store, self._fingerprints)
+                        )
+                    self._engines[key] = engine
         return self._engines[key]
 
     def _body(self, fn_name: str) -> Body:
@@ -254,14 +306,22 @@ class AnalysisSession:
         engine = self.engine(config)
         fingerprint = self._fingerprints.record_fingerprint(fn_name, config)
         key = (config_cache_key(config), fn_name, fingerprint)
-        if key in self._result_memo:
-            self.counters["memo_hits"] += 1
-            return self._result_memo[key], True
-        if len(self._result_memo) > 2048:
-            self._result_memo.clear()
-        result = engine.analyze_function(fn_name)
-        self._result_memo[key] = result
-        return result, False
+        # Single atomic .get(): a check-then-index here could race with the
+        # memo clear below when the session is shared across threads.
+        memoised = self._result_memo.get(key)
+        if memoised is not None:
+            self._bump("memo_hits")
+            return memoised, True
+        with self._compute_lock:
+            memoised = self._result_memo.get(key)
+            if memoised is not None:
+                self._bump("memo_hits")
+                return memoised, True
+            if len(self._result_memo) > 2048:
+                self._result_memo.clear()
+            result = engine.analyze_function(fn_name)
+            self._result_memo[key] = result
+            return result, False
 
     def _record(self, fn_name: str, config: AnalysisConfig) -> Tuple[FunctionRecord, str]:
         """The cached record for one function, computing and storing on miss.
@@ -273,10 +333,16 @@ class AnalysisSession:
         data = self.store.get(key)
         if data is not None:
             return FunctionRecord.from_json_dict(data), "hit"
-        result, _ = self._result(fn_name, config)
-        record = FunctionRecord.from_result(result, key.fingerprint, key.condition)
-        self.store.put(key, record.to_json_dict())
-        return record, "miss"
+        with self._compute_lock:
+            # Double-check under the lock: a concurrent thread may have just
+            # computed and stored this record while we waited.
+            data = self.store.get(key)
+            if data is not None:
+                return FunctionRecord.from_json_dict(data), "hit"
+            result, _ = self._result(fn_name, config)
+            record = FunctionRecord.from_result(result, key.fingerprint, key.condition)
+            self.store.put(key, record.to_json_dict())
+            return record, "miss"
 
     # -- queries -----------------------------------------------------------------
 
@@ -285,7 +351,7 @@ class AnalysisSession:
     ) -> dict:
         """Dependency-set sizes per variable, served from the store when warm."""
         config = config or MODULAR
-        self.counters["analyze_queries"] += 1
+        self._bump("analyze_queries")
         engine = self.engine(config)
         if function is not None:
             self._body(function)  # raises ReproError for unknown functions
@@ -368,14 +434,19 @@ class AnalysisSession:
             # the function).  Re-derive them from the current body.
             table = FocusTable.from_json_dict(data).respan(self._body(fn_name))
             return table, "hit"
-        result, _ = self._result(fn_name, config)
-        table = FocusTable.build(
-            result, fingerprint=key.fingerprint, condition=condition_name(config)
-        )
-        self.store.put(key, table.to_json_dict())
-        # The result memo is fingerprint-keyed too, so after a pure position
-        # shift it can hold the *old* body; serve current-text spans anyway.
-        return table.respan(self._body(fn_name)), "miss"
+        with self._compute_lock:
+            data = self.store.get(key)
+            if data is not None:
+                table = FocusTable.from_json_dict(data).respan(self._body(fn_name))
+                return table, "hit"
+            result, _ = self._result(fn_name, config)
+            table = FocusTable.build(
+                result, fingerprint=key.fingerprint, condition=condition_name(config)
+            )
+            self.store.put(key, table.to_json_dict())
+            # The result memo is fingerprint-keyed too, so after a pure position
+            # shift it can hold the *old* body; serve current-text spans anyway.
+            return table.respan(self._body(fn_name)), "miss"
 
     def slice(
         self,
@@ -395,7 +466,7 @@ class AnalysisSession:
                 f"unknown slice direction {direction!r}", code=QueryError.INVALID_PARAMS
             )
         config = config or MODULAR
-        self.counters["slice_queries"] += 1
+        self._bump("slice_queries")
         body = self._body(function)
         if body.local_by_name(variable) is None:
             raise QueryError(
@@ -445,7 +516,7 @@ class AnalysisSession:
                 f"unknown focus direction {direction!r}", code=QueryError.INVALID_PARAMS
             )
         config = config or MODULAR
-        self.counters["focus_queries"] += 1
+        self._bump("focus_queries")
         self._require_workspace()
         offset = self._unit_line_offset(unit)
 
@@ -503,7 +574,7 @@ class AnalysisSession:
         checker rather than the per-function cache.
         """
         self._require_workspace()
-        self.counters["ifc_queries"] += 1
+        self._bump("ifc_queries")
         policy = IfcPolicy()
         for type_name in secret_types:
             policy.mark_type_secret(type_name)
@@ -515,8 +586,9 @@ class AnalysisSession:
             policy.secret_variables.add((fn_name, variable))
         for sink in sinks:
             policy.mark_function_insecure(sink)
-        checker = IfcChecker(self.source, policy, engine=self.engine(config or MODULAR))
-        violations = checker.check_all()
+        with self._compute_lock:
+            checker = IfcChecker(self.source, policy, engine=self.engine(config or MODULAR))
+            violations = checker.check_all()
         return {
             "violations": [violation.render() for violation in violations],
             "count": len(violations),
@@ -529,19 +601,21 @@ class AnalysisSession:
         """Batch-analyse the whole workspace into the store."""
         config = config or MODULAR
         engine = self.engine(config)
-        batch = self.scheduler.run(
-            engine,
-            store=self.store,
-            fingerprints=self._fingerprints,
-            source=self.source,
-            parallel=parallel,
-        )
+        with self._compute_lock:
+            batch = self.scheduler.run(
+                engine,
+                store=self.store,
+                fingerprints=self._fingerprints,
+                source=self.source,
+                parallel=parallel,
+            )
         out = batch.to_json_dict()
         out["condition"] = condition_name(config)
         out["stats"] = self.store.stats.to_dict()
         return out
 
     def stats(self) -> dict:
+        """Session/store/counter snapshot, including the last invalidation plan."""
         return {
             "generation": self.generation,
             "units": self.unit_names(),

@@ -152,3 +152,161 @@ def test_experiment_command_small_scale():
     assert code == 0
     assert "measured vs paper" in output
     assert "crate boundary" in output
+
+
+# ---------------------------------------------------------------------------
+# --help / exit codes for every subcommand
+# ---------------------------------------------------------------------------
+
+
+ALL_SUBCOMMANDS = [
+    "mir", "analyze", "slice", "focus", "ifc", "corpus",
+    "experiment", "serve", "workspace", "version", "query",
+]
+
+
+def test_top_level_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    output = capsys.readouterr().out
+    for name in ALL_SUBCOMMANDS:
+        assert name in output
+
+
+@pytest.mark.parametrize("name", [s for s in ALL_SUBCOMMANDS if s != "version"])
+def test_subcommand_help_exits_zero(name, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([name, "--help"])
+    assert excinfo.value.code == 0
+    assert f"repro {name}" in capsys.readouterr().out
+
+
+def test_unknown_subcommand_exits_two(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2
+
+
+def test_serve_help_documents_the_concurrency_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--help"])
+    output = capsys.readouterr().out
+    for flag in ("--port", "--host", "--workers", "--persist-dir",
+                 "--workspace", "--jsonrpc", "--cache-dir", "--input"):
+        assert flag in output
+
+
+def test_workspace_help_lists_actions(capsys):
+    with pytest.raises(SystemExit):
+        main(["workspace", "--help"])
+    output = capsys.readouterr().out
+    for action in ("save", "load", "list"):
+        assert action in output
+
+
+# ---------------------------------------------------------------------------
+# version
+# ---------------------------------------------------------------------------
+
+
+def _pyproject_version():
+    import re
+    from pathlib import Path
+
+    text = (Path(__file__).resolve().parents[1] / "pyproject.toml").read_text(
+        encoding="utf-8"
+    )
+    return re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE).group(1)
+
+
+def test_version_subcommand_matches_pyproject():
+    code, output = run_cli("version")
+    assert code == 0
+    assert output.strip() == f"repro-flowistry {_pyproject_version()}"
+
+
+def test_version_flag_matches_pyproject(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert _pyproject_version() in capsys.readouterr().out
+
+
+def test_dunder_version_matches_pyproject():
+    import repro
+
+    assert repro.__version__ == _pyproject_version()
+
+
+# ---------------------------------------------------------------------------
+# serve / workspace persistence round trips
+# ---------------------------------------------------------------------------
+
+
+def test_serve_with_input_file_and_persist_dir(tmp_path, source_file):
+    import json
+
+    requests = tmp_path / "requests.ndjson"
+    requests.write_text(
+        json.dumps({"id": 1, "method": "analyze", "params": {"function": "get_count"}})
+        + "\n",
+        encoding="utf-8",
+    )
+    persist = str(tmp_path / "persist")
+
+    code, output = run_cli(
+        "serve", source_file, "--input", str(requests), "--persist-dir", persist
+    )
+    assert code == 0
+    first = json.loads(output.splitlines()[0])
+    assert first["ok"]
+    assert first["result"]["functions"]["get_count"]["cache"] == "miss"
+
+    # Restarted server over the same persist dir: first answer is warm.
+    code, output = run_cli(
+        "serve", "--input", str(requests), "--persist-dir", persist
+    )
+    assert code == 0
+    second = json.loads(output.splitlines()[0])
+    assert second["result"]["functions"]["get_count"]["cache"] == "hit"
+
+
+def test_workspace_save_load_list_round_trip(tmp_path, source_file):
+    import json
+
+    persist = str(tmp_path / "ws")
+    code, output = run_cli(
+        "workspace", "save", source_file, "--persist-dir", persist, "--warm"
+    )
+    assert code == 0
+    summary = json.loads(output)
+    assert summary["workspace"] == "default" and summary["cache_entries"] >= 1
+
+    code, output = run_cli(
+        "workspace", "load", "--persist-dir", persist, "--analyze"
+    )
+    assert code == 0
+    report = json.loads(output)
+    assert report["analyze"]["cache_misses"] == 0
+    assert report["analyze"]["cache_hits"] >= 1
+
+    code, output = run_cli("workspace", "list", "--persist-dir", persist)
+    assert code == 0
+    assert json.loads(output)[0]["workspace"] == "default"
+
+
+def test_serve_port_rejects_stdio_only_flags(tmp_path):
+    for extra in (["--jsonrpc"], ["--cache-dir", str(tmp_path)],
+                  ["--input", str(tmp_path / "x")]):
+        code, output = run_cli("serve", "--port", "0", *extra)
+        assert code == 2
+        assert "stdio-mode flag" in output
+
+
+def test_workspace_load_missing_is_clean_error(tmp_path):
+    code, output = run_cli(
+        "workspace", "load", "--persist-dir", str(tmp_path), "--workspace", "nope"
+    )
+    assert code == 2
+    assert "error" in output

@@ -1,0 +1,96 @@
+"""Replay the transcripts of ``docs/PROTOCOL.md`` against a live session.
+
+Every fenced block tagged ``transcript`` in the protocol reference is
+executed here: ``>`` lines are sent through a fresh
+:class:`~repro.service.server.ConnectionHandler` (the same mux the socket
+server uses, so both dialects and the ``workspace`` method are available),
+and the JSON on each ``<`` line must be a recursive *subset* of the actual
+response.  ``< null`` asserts that a notification produced no response.
+
+Subset semantics: documented objects may omit fields (the volatile
+``stats`` block, the release-dependent ``version`` strings); documented
+lists must match the actual list exactly in length, element-wise by the
+same rule.  This is precisely the compatibility contract the doc promises
+clients ("responses grow additively; ignore unknown fields"), so the doc
+cannot rot without this test failing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.service.server import ConnectionHandler, WorkspaceRegistry
+
+PROTOCOL_MD = Path(__file__).resolve().parents[1] / "docs" / "PROTOCOL.md"
+
+BLOCK_RE = re.compile(r"```transcript\n(.*?)```", re.DOTALL)
+
+
+def extract_transcripts():
+    """``(block_index, [(request_json, expected_json_or_None), ...])`` pairs."""
+    text = PROTOCOL_MD.read_text(encoding="utf-8")
+    blocks = []
+    for match in BLOCK_RE.finditer(text):
+        steps = []
+        pending_request = None
+        for line in match.group(1).splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("> "):
+                assert pending_request is None, "two requests without a response"
+                pending_request = json.loads(line[2:])
+            elif line.startswith("< "):
+                assert pending_request is not None, "response without a request"
+                body = line[2:]
+                expected = None if body == "null" else json.loads(body)
+                steps.append((pending_request, expected))
+                pending_request = None
+            else:
+                raise AssertionError(f"transcript line must start with > or <: {line!r}")
+        assert pending_request is None, "request without a response"
+        blocks.append(steps)
+    return blocks
+
+
+def assert_subset(expected, actual, path="$"):
+    """``expected`` must be contained in ``actual`` (see module docstring)."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object, got {type(actual).__name__}"
+        for key, value in expected.items():
+            assert key in actual, f"{path}: missing key {key!r} (actual keys: {sorted(actual)})"
+            assert_subset(value, actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected array, got {type(actual).__name__}"
+        assert len(expected) == len(actual), (
+            f"{path}: array length {len(actual)} != documented {len(expected)}"
+        )
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            assert_subset(exp, act, f"{path}[{index}]")
+    else:
+        assert expected == actual, f"{path}: documented {expected!r} but got {actual!r}"
+
+
+TRANSCRIPTS = extract_transcripts()
+
+
+def test_protocol_doc_has_transcripts():
+    assert len(TRANSCRIPTS) >= 7, "docs/PROTOCOL.md lost its transcript blocks"
+    assert sum(len(block) for block in TRANSCRIPTS) >= 25
+
+
+@pytest.mark.parametrize("index", range(len(TRANSCRIPTS)))
+def test_transcript_replays(index):
+    handler = ConnectionHandler(WorkspaceRegistry())
+    for step, (request, expected) in enumerate(TRANSCRIPTS[index]):
+        actual = handler.handle_message(request)
+        where = f"block {index}, step {step}, request {json.dumps(request)[:80]}"
+        if expected is None:
+            assert actual is None, f"{where}: expected no response, got {actual}"
+        else:
+            assert actual is not None, f"{where}: expected a response, got none"
+            assert_subset(expected, actual, path=where)
