@@ -20,6 +20,15 @@ References received from the caller (reference-typed arguments) have no
 in-body loans; dereferencing them yields the *abstract place* ``(*arg)``,
 which stands for caller-owned memory, mirroring how Flowistry reasons about
 argument memory symbolically.
+
+The representation is interned: every place is a dense index into a
+:class:`~repro.mir.indices.PlaceDomain` (shareable with the indexed flow
+engine's :class:`~repro.mir.indices.BodyIndex`, so oracle resolutions land
+directly on the analysis' own indices), and Γ is a mapping from place index
+to an int bitset of place indices.  The body is walked once to **compile**
+the propagation constraints — the type-driven reference-path discovery and
+place projection happen per statement, not per fixpoint pass — and the
+fixpoint then iterates the compiled constraint list with bitwise unions.
 """
 
 from __future__ import annotations
@@ -28,23 +37,18 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.borrowck.signatures import SignatureSummary, summarize_signature
+from repro.dataflow.bitset import iter_bits
 from repro.lang.ast import FnSig
 from repro.lang.types import Mutability, RefType, StructType, TupleType, Type
+from repro.mir.indices import PlaceDomain
 from repro.mir.ir import (
     Aggregate,
-    BinaryOp,
     Body,
     CallTerminator,
-    Constant,
-    Copy,
-    Move,
-    Operand,
     Place,
     Ref,
     Rvalue,
-    Statement,
     StatementKind,
-    UnaryOp,
     Use,
 )
 
@@ -78,23 +82,77 @@ def _refs_in_type(ty: Optional[Type], path: Tuple[int, ...] = ()) -> List[Tuple[
     return []
 
 
+# Compiled constraint tags.
+_BORROW = 0  # rows[dest] |= resolve_mask(referent)
+_COPY = 1    # rows[dest_ref] |= ⋃ rows[resolve(src_ref)] ∪ rows[src_ref]
+_CALL = 2    # rows[dest_ref…] |= ⋃ resolve_mask(tied argument pointees)
+
+
 @dataclass
 class LoanAnalysis:
     """Loan sets for one MIR body (the precise, lifetime-aware version)."""
 
     body: Body
     signatures: Dict[str, FnSig] = field(default_factory=dict)
-    loans: Dict[Place, Set[Place]] = field(default_factory=dict)
+    # Shareable interning table; the flow engine passes its own so loan
+    # resolutions are already in the analysis' index space.
+    domain: PlaceDomain = field(default_factory=PlaceDomain)
+    _rows: Dict[int, int] = field(default_factory=dict)
     _summaries: Dict[str, SignatureSummary] = field(default_factory=dict)
+    _constraints: Optional[List[tuple]] = field(default=None)
 
     # -- public API --------------------------------------------------------------
 
+    @property
+    def loans(self) -> Dict[Place, Set[Place]]:
+        """The loan map in object form (tests and debugging; not hot)."""
+        place_of = self.domain.place_of
+        return {
+            place_of(index): {place_of(i) for i in iter_bits(bits)}
+            for index, bits in self._rows.items()
+        }
+
     def loan_set(self, place: Place) -> FrozenSet[Place]:
         """The places that the reference stored at ``place`` may point to."""
-        return frozenset(self.loans.get(place, set()))
+        index = self.domain.get(place)
+        if index is None:
+            return frozenset()
+        return frozenset(self.domain.places_of(iter_bits(self._rows.get(index, 0))))
 
     def as_map(self) -> LoanMap:
-        return {place: frozenset(targets) for place, targets in self.loans.items()}
+        place_of = self.domain.place_of
+        return {
+            place_of(index): frozenset(place_of(i) for i in iter_bits(bits))
+            for index, bits in self._rows.items()
+        }
+
+    def resolve_mask(self, place: Place) -> int:
+        """Index form of :meth:`resolve`: a bitset over the place domain."""
+        domain = self.domain
+        rows = self._rows
+        bases = 1 << domain.base_index(place.local)
+        for elem in place.projection:
+            next_bases = 0
+            if elem.is_deref():
+                while bases:
+                    lsb = bases & -bases
+                    bases ^= lsb
+                    base_index = lsb.bit_length() - 1
+                    targets = rows.get(base_index, 0)
+                    if targets:
+                        next_bases |= targets
+                    else:
+                        next_bases |= 1 << domain.project_deref_index(base_index)
+            else:
+                field_index = elem.index
+                while bases:
+                    lsb = bases & -bases
+                    bases ^= lsb
+                    next_bases |= 1 << domain.project_field_index(
+                        lsb.bit_length() - 1, field_index
+                    )
+            bases = next_bases
+        return bases
 
     def resolve(self, place: Place) -> FrozenSet[Place]:
         """Reduce ``place`` to the concrete places it may denote.
@@ -105,34 +163,29 @@ class LoanAnalysis:
         deref is kept symbolically, producing an abstract place such as
         ``(*_1)``.
         """
-        bases: Set[Place] = {Place.from_local(place.local)}
-        for elem in place.projection:
-            next_bases: Set[Place] = set()
-            for base in bases:
-                if elem.is_deref():
-                    targets = self.loans.get(base)
-                    if targets:
-                        next_bases |= targets
-                    else:
-                        next_bases.add(base.project_deref())
-                else:
-                    next_bases.add(base.project_field(elem.index))
-            bases = next_bases
-        return frozenset(bases)
+        return frozenset(self.domain.places_of(iter_bits(self.resolve_mask(place))))
+
+    def resolve_indices(self, place: Place) -> Tuple[int, ...]:
+        """:meth:`resolve` as domain indices (the flow engine's form)."""
+        if not place.projection:
+            # The overwhelmingly common case: a bare local denotes itself.
+            return (self.domain.base_index(place.local),)
+        return tuple(iter_bits(self.resolve_mask(place)))
 
     def borrowed_places(self) -> FrozenSet[Place]:
         """Every concrete place that appears in some loan set."""
-        out: Set[Place] = set()
-        for targets in self.loans.values():
-            out |= targets
-        return frozenset(out)
+        union = 0
+        for bits in self._rows.values():
+            union |= bits
+        return frozenset(self.domain.places_of(iter_bits(union)))
 
     # -- construction --------------------------------------------------------------
 
     def run(self, max_iterations: int = 100) -> "LoanAnalysis":
-        """Iterate loan propagation to a fixpoint."""
+        """Iterate the compiled loan constraints to a fixpoint."""
+        constraints = self._compile()
         for _ in range(max_iterations):
-            if not self._one_pass():
+            if not self._one_pass(constraints):
                 break
         return self
 
@@ -146,73 +199,71 @@ class LoanAnalysis:
         self._summaries[fn_name] = summary
         return summary
 
-    def _add(self, place: Place, targets: Iterable[Place]) -> bool:
-        bucket = self.loans.setdefault(place, set())
-        before = len(bucket)
-        bucket.update(targets)
-        return len(bucket) != before
+    # -- constraint compilation ----------------------------------------------------
 
-    def _one_pass(self) -> bool:
-        changed = False
+    def _compile(self) -> List[tuple]:
+        """Walk the body once, emitting index-level propagation constraints.
+
+        Everything type-directed (which nested paths of a copied value are
+        references, which call arguments are lifetime-tied to the return)
+        and every place projection is resolved here; the fixpoint itself
+        only evaluates the constraint list with bit arithmetic.
+        """
+        if self._constraints is not None:
+            return self._constraints
+        constraints: List[tuple] = []
+        index = self.domain.index
         for block in self.body.blocks:
             for stmt in block.statements:
                 if stmt.kind is not StatementKind.ASSIGN:
                     continue
                 assert stmt.place is not None and stmt.rvalue is not None
-                changed |= self._transfer_assign(stmt.place, stmt.rvalue)
+                self._compile_assign(constraints, stmt.place, stmt.rvalue, index)
             terminator = block.terminator
             if isinstance(terminator, CallTerminator):
-                changed |= self._transfer_call(terminator)
-        return changed
+                self._compile_call(constraints, terminator, index)
+        self._constraints = constraints
+        return constraints
 
-    # -- transfer -------------------------------------------------------------------
-
-    def _transfer_assign(self, place: Place, rvalue: Rvalue) -> bool:
-        changed = False
+    def _compile_assign(
+        self, constraints: List[tuple], place: Place, rvalue: Rvalue, index
+    ) -> None:
         if isinstance(rvalue, Ref):
-            targets = self.resolve(rvalue.referent)
-            changed |= self._add(place, targets)
+            constraints.append((_BORROW, index(place), rvalue.referent))
         elif isinstance(rvalue, Use):
             src = rvalue.operand.place()
             if src is not None:
-                changed |= self._copy_ref_loans(place, src)
+                self._compile_ref_copy(constraints, place, src, index)
         elif isinstance(rvalue, Aggregate):
-            for index, operand in enumerate(rvalue.ops):
+            for field_index, operand in enumerate(rvalue.ops):
                 src = operand.place()
                 if src is None:
                     continue
-                changed |= self._copy_ref_loans(place.project_field(index), src)
+                self._compile_ref_copy(
+                    constraints, place.project_field(field_index), src, index
+                )
         # BinaryOp/UnaryOp never produce references.
-        return changed
 
-    def _copy_ref_loans(self, dest: Place, src: Place) -> bool:
-        """Propagate loans for every reference nested in the copied value."""
+    def _compile_ref_copy(
+        self, constraints: List[tuple], dest: Place, src: Place, index
+    ) -> None:
+        """One constraint per reference nested in the copied value."""
         ty = self.body.place_ty(dest)
-        changed = False
         for path, _ref_ty in _refs_in_type(ty):
             dest_ref = _place_with_path(dest, path)
             src_ref = _place_with_path(src, path)
-            targets: Set[Place] = set()
-            for resolved in self.resolve(src_ref):
-                targets |= self.loans.get(resolved, set())
-            # Direct lookup as well (when src_ref itself is the tracked key).
-            targets |= self.loans.get(src_ref, set())
-            if targets:
-                changed |= self._add(dest_ref, targets)
-        return changed
+            constraints.append((_COPY, index(dest_ref), index(src_ref), src_ref))
 
-    def _transfer_call(self, call: CallTerminator) -> bool:
+    def _compile_call(self, constraints: List[tuple], call: CallTerminator, index) -> None:
         summary = self._summary(call.func)
         if summary is None:
-            return False
-        dest_ty = self.body.place_ty(call.destination)
-        dest_refs = _refs_in_type(dest_ty)
+            return
+        dest_refs = _refs_in_type(self.body.place_ty(call.destination))
         if not dest_refs:
-            return False
-
+            return
         # The returned reference(s) may point to anything reachable through
         # the lifetime-tied arguments' references.
-        targets: Set[Place] = set()
+        pointees: List[Place] = []
         for param_index in summary.params_tied_to_return:
             if param_index >= len(call.args):
                 continue
@@ -221,16 +272,61 @@ class LoanAnalysis:
                 continue
             for ref_info in summary.all_refs_of_param(param_index):
                 ref_place = _place_with_path(arg_place, ref_info.path)
-                targets |= self.resolve(ref_place.project_deref())
+                pointees.append(ref_place.project_deref())
+        if not pointees:
+            return
+        dest_indices = tuple(
+            index(_place_with_path(call.destination, path)) for path, _ref_ty in dest_refs
+        )
+        constraints.append((_CALL, dest_indices, tuple(pointees)))
 
-        if not targets:
-            return False
+    # -- fixpoint -------------------------------------------------------------------
+
+    def _or_row(self, index: int, bits: int) -> bool:
+        before = self._rows.get(index)
+        if before is None:
+            self._rows[index] = bits
+            return True
+        after = before | bits
+        if after != before:
+            self._rows[index] = after
+            return True
+        return False
+
+    def _one_pass(self, constraints: List[tuple]) -> bool:
         changed = False
-        for path, _ref_ty in dest_refs:
-            changed |= self._add(_place_with_path(call.destination, path), targets)
+        rows = self._rows
+        for constraint in constraints:
+            tag = constraint[0]
+            if tag is _BORROW:
+                _tag, dest, referent = constraint
+                changed |= self._or_row(dest, self.resolve_mask(referent))
+            elif tag is _COPY:
+                _tag, dest_ref, src_ref_index, src_ref = constraint
+                targets = rows.get(src_ref_index, 0)
+                resolved = self.resolve_mask(src_ref)
+                while resolved:
+                    lsb = resolved & -resolved
+                    resolved ^= lsb
+                    targets |= rows.get(lsb.bit_length() - 1, 0)
+                if targets:
+                    changed |= self._or_row(dest_ref, targets)
+            else:  # _CALL
+                _tag, dest_indices, pointees = constraint
+                targets = 0
+                for pointee in pointees:
+                    targets |= self.resolve_mask(pointee)
+                if targets:
+                    for dest in dest_indices:
+                        changed |= self._or_row(dest, targets)
         return changed
 
 
-def compute_loans(body: Body, signatures: Dict[str, FnSig]) -> LoanAnalysis:
+def compute_loans(
+    body: Body, signatures: Dict[str, FnSig], domain: Optional[PlaceDomain] = None
+) -> LoanAnalysis:
     """Run the loan analysis for ``body`` to fixpoint and return it."""
-    return LoanAnalysis(body=body, signatures=signatures).run()
+    analysis = LoanAnalysis(body=body, signatures=signatures)
+    if domain is not None:
+        analysis.domain = domain
+    return analysis.run()

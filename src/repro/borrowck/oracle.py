@@ -38,6 +38,10 @@ class AliasOracle:
         """Concrete places ``place`` may denote (deref projections resolved)."""
         raise NotImplementedError
 
+    def resolve_indices(self, place: Place, domain) -> "tuple":
+        """:meth:`resolve` interned into ``domain`` (a ``PlaceDomain``)."""
+        return tuple(domain.index(p) for p in self.resolve(place))
+
     def aliases_known(self, place: Place) -> bool:
         """Whether the oracle has definite points-to information for ``place``."""
         raise NotImplementedError
@@ -69,6 +73,18 @@ class PreciseAliasOracle(AliasOracle):
 
     def resolve(self, place: Place) -> FrozenSet[Place]:
         return self.loans.resolve(place)
+
+    def resolve_indices(self, place: Place, domain) -> "tuple":
+        """Resolution as indices of ``domain``.
+
+        When the loan analysis already interns into the caller's domain (the
+        indexed flow engine shares its :class:`~repro.mir.indices.BodyIndex`
+        place table), the loan bitset *is* the answer; otherwise fall back
+        to resolving objects and interning them.
+        """
+        if self.loans.domain is domain:
+            return self.loans.resolve_indices(place)
+        return tuple(domain.index(p) for p in self.resolve(place))
 
     def aliases_known(self, place: Place) -> bool:
         resolved = self.resolve(place)
@@ -148,9 +164,17 @@ def make_oracle(
     body: Body,
     signatures: Dict[str, FnSig],
     ref_blind: bool = False,
+    place_domain=None,
 ) -> AliasOracle:
-    """Build the alias oracle matching the chosen analysis condition."""
+    """Build the alias oracle matching the chosen analysis condition.
+
+    ``place_domain`` lets the indexed flow engine share its place interning
+    table with the loan analysis, so oracle resolutions are produced
+    directly in the engine's index space.
+    """
     if ref_blind:
         return TypeBlindAliasOracle(body=body, signatures=signatures)
-    loans = LoanAnalysis(body=body, signatures=signatures).run()
-    return PreciseAliasOracle(body=body, loans=loans)
+    loans = LoanAnalysis(body=body, signatures=signatures)
+    if place_domain is not None:
+        loans.domain = place_domain
+    return PreciseAliasOracle(body=body, loans=loans.run())

@@ -8,6 +8,9 @@ extension) with a small set of subcommands over MiniRust source files:
   — print Figure-1 style Θ annotations and per-variable dependency sizes,
 * ``repro slice FILE --function NAME --variable VAR [--forward]`` — print a
   slice rendered against the source,
+* ``repro stats FILE [--function NAME]`` — per-function interning-table
+  sizes, exit-Θ bitset density, and fixpoint iteration counts (debugging
+  aid for the indexed dataflow substrate),
 * ``repro ifc FILE --secret-type T ... --sink F ...`` — run the IFC checker,
 * ``repro corpus [--scale S] [--crate NAME]`` — generate the evaluation corpus,
 * ``repro experiment [--scale S]`` — run the Section 5 experiment and print
@@ -55,6 +58,7 @@ def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
         whole_program=getattr(args, "whole_program", False),
         mut_blind=getattr(args, "mut_blind", False),
         ref_blind=getattr(args, "ref_blind", False),
+        engine=getattr(args, "engine", "bitset"),
     )
 
 
@@ -77,6 +81,13 @@ def _add_condition_flags(parser: argparse.ArgumentParser) -> None:
         "--ref-blind",
         action="store_true",
         help="ablation: ignore lifetimes (type-based aliasing)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="bitset",
+        choices=["bitset", "object"],
+        help="dataflow substrate: the indexed bitset engine (default) or the "
+             "legacy object engine kept as the differential reference",
     )
 
 
@@ -123,6 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
     focus.add_argument("--json", action="store_true", help="print the raw response")
     focus.add_argument("--color", action="store_true", help="ANSI highlights")
     _add_condition_flags(focus)
+
+    stats = sub.add_parser(
+        "stats",
+        help="per-function interning-table sizes, bitset density, and "
+             "fixpoint iteration counts (debugging aid for the indexed substrate)",
+    )
+    stats.add_argument("file")
+    stats.add_argument("--function", help="only this function (default: all)")
+    stats.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_condition_flags(stats)
 
     ifc = sub.add_parser("ifc", help="check information flow policies")
     ifc.add_argument("file")
@@ -288,6 +309,56 @@ def cmd_focus(args: argparse.Namespace, out) -> int:
         out.write(json.dumps(response, sort_keys=True) + "\n")
     else:
         out.write(render_focus_response(source, response, color=args.color) + "\n")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    import json
+
+    # Table sizes / density / dirty-bit counts only exist on the indexed
+    # substrate; the condition flags still select what is analysed.
+    config = _config_from_args(args)
+    if config.engine != "bitset":
+        raise ReproError(
+            "`stats` reports interning-table/bitset metrics, which only the "
+            "bitset engine has; drop --engine or pass --engine bitset"
+        )
+    engine = FlowEngine.from_source(_read_source(args.file), config=config)
+    rows = []
+    for name in _selected_functions(engine, args.function):
+        result = engine.analyze_function(name)
+        domain = result.transfer.domain
+        matrix = result.exit_theta.matrix
+        num_places, num_locations = len(domain.places), len(domain.locations)
+        rows.append({
+            "function": name,
+            "blocks": len(result.body.blocks),
+            "instructions": result.body.num_instructions(),
+            "interned_places": num_places,
+            "interned_locations": num_locations,
+            "exit_rows": len(matrix),
+            "exit_bits": matrix.popcount_total(),
+            "exit_density": round(matrix.density(num_places, num_locations), 4),
+            "fixpoint_iterations": result.fixpoint.iterations,
+            "tables_digest": domain.digest(),
+        })
+    if args.json:
+        out.write(json.dumps({"condition": config.name, "functions": rows},
+                             indent=2, sort_keys=True) + "\n")
+        return 0
+    out.write(f"// condition: {config.name}\n")
+    header = (
+        f"{'function':<28} {'blocks':>6} {'instrs':>6} {'places':>6} "
+        f"{'locs':>5} {'rows':>5} {'bits':>6} {'density':>8} {'iters':>5}\n"
+    )
+    out.write(header)
+    for row in rows:
+        out.write(
+            f"{row['function']:<28} {row['blocks']:>6} {row['instructions']:>6} "
+            f"{row['interned_places']:>6} {row['interned_locations']:>5} "
+            f"{row['exit_rows']:>5} {row['exit_bits']:>6} "
+            f"{row['exit_density']:>8.4f} {row['fixpoint_iterations']:>5}\n"
+        )
     return 0
 
 
@@ -520,6 +591,7 @@ _HANDLERS = {
     "analyze": cmd_analyze,
     "slice": cmd_slice,
     "focus": cmd_focus,
+    "stats": cmd_stats,
     "ifc": cmd_ifc,
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,

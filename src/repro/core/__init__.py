@@ -20,7 +20,13 @@ lifetimes) from callee signatures:
 """
 
 from repro.core.config import AnalysisConfig, all_conditions, condition_name
-from repro.core.theta import DependencyContext, ThetaLattice, ARG_BLOCK
+from repro.core.theta import (
+    ARG_BLOCK,
+    DependencyContext,
+    IndexedDependencyContext,
+    IndexedThetaLattice,
+    ThetaLattice,
+)
 from repro.core.analysis import FunctionFlowAnalysis, FunctionFlowResult, analyze_body
 from repro.core.engine import FlowEngine, ProgramFlowResult, analyze_program, analyze_source
 from repro.core.summaries import (
@@ -37,6 +43,8 @@ __all__ = [
     "FlowEngine",
     "FunctionFlowAnalysis",
     "FunctionFlowResult",
+    "IndexedDependencyContext",
+    "IndexedThetaLattice",
     "ModularSummaryProvider",
     "ProgramFlowResult",
     "ThetaLattice",

@@ -17,12 +17,41 @@ from repro.borrowck.oracle import AliasOracle, make_oracle
 from repro.borrowck.signatures import summarize_signature
 from repro.core.config import AnalysisConfig
 from repro.core.summaries import CallSummaryProvider, ModularSummaryProvider
-from repro.core.theta import DependencyContext, ThetaLattice, arg_location, is_arg_location
-from repro.core.transfer import FlowTransfer
+from repro.core.theta import (
+    DependencyContext,
+    IndexedDependencyContext,
+    IndexedThetaLattice,
+    ThetaLattice,
+    arg_location,
+    is_arg_location,
+)
+from repro.core.transfer import FlowTransfer, IndexedFlowTransfer
 from repro.dataflow.control_deps import compute_control_deps
 from repro.dataflow.engine import FixpointResult, ForwardAnalysis
 from repro.lang.ast import FnSig
+from repro.mir.indices import BodyIndex, index_body
 from repro.mir.ir import Body, Location, Place, RETURN_LOCAL, StatementKind, Statement, CallTerminator
+
+
+def argument_seed_places(body: Body) -> List[Tuple[int, Place]]:
+    """``(parameter index, place)`` pairs seeded with argument tags at entry.
+
+    Per parameter: the argument place itself, plus every place reachable by
+    dereferencing a reference nested in the parameter's type.  Shared by
+    both engine paths (and by the interning-table seeding) so the seeded key
+    set is identical by construction.
+    """
+    summary = summarize_signature(body.signature)
+    out: List[Tuple[int, Place]] = []
+    for param_index, local in enumerate(body.arg_locals()):
+        arg_place = Place.from_local(local.index)
+        out.append((param_index, arg_place))
+        for info in summary.all_refs_of_param(param_index):
+            ref_place = arg_place
+            for index in info.path:
+                ref_place = ref_place.project_field(index)
+            out.append((param_index, ref_place.project_deref()))
+    return out
 
 
 def _seed_arguments(body: Body) -> DependencyContext:
@@ -34,16 +63,22 @@ def _seed_arguments(body: Body) -> DependencyContext:
     are read back out of a callee's exit state.
     """
     theta = DependencyContext()
-    for param_index, local in enumerate(body.arg_locals()):
-        tag = frozenset({arg_location(param_index)})
-        arg_place = Place.from_local(local.index)
-        theta.set(arg_place, tag)
-        summary = summarize_signature(body.signature)
-        for info in summary.all_refs_of_param(param_index):
-            ref_place = arg_place
-            for index in info.path:
-                ref_place = ref_place.project_field(index)
-            theta.set(ref_place.project_deref(), tag)
+    for param_index, place in argument_seed_places(body):
+        theta.set(place, frozenset({arg_location(param_index)}))
+    return theta
+
+
+def _seed_arguments_indexed(
+    domain: BodyIndex, seeds: List[Tuple[int, Place]]
+) -> IndexedDependencyContext:
+    """The same initial Θ over the indexed domain: one tag bit per row."""
+    theta = IndexedDependencyContext(domain)
+    place_index = domain.places.index
+    location_index = domain.locations.index
+    for param_index, place in seeds:
+        theta.matrix.set_row(
+            place_index(place), 1 << location_index(arg_location(param_index))
+        )
     return theta
 
 
@@ -105,6 +140,12 @@ class FunctionFlowResult:
         """
         theta = self.exit_theta
         out: Dict[str, int] = {}
+        indexed = isinstance(theta, IndexedDependencyContext)
+        if indexed:
+            from repro.dataflow.bitset import popcount
+
+            place_index = theta.domain.places.index
+            arg_tag_mask = theta.domain.locations.arg_tag_mask
         for local in self.body.locals:
             if local.index == RETURN_LOCAL:
                 label = "<return>"
@@ -113,6 +154,13 @@ class FunctionFlowResult:
             elif include_temporaries:
                 label = f"_{local.index}"
             else:
+                continue
+            if indexed:
+                # Count bits directly: no frozenset materialisation.
+                bits = theta.read_conflicts_bits(place_index(Place.from_local(local.index)))
+                if not count_arg_tags:
+                    bits &= ~arg_tag_mask
+                out[label] = popcount(bits)
                 continue
             deps = theta.read_conflicts(Place.from_local(local.index))
             if not count_arg_tags:
@@ -213,20 +261,47 @@ class FunctionFlowAnalysis:
         self.provider = provider or ModularSummaryProvider()
 
     def run(self) -> FunctionFlowResult:
-        oracle = make_oracle(self.body, self.signatures, ref_blind=self.config.ref_blind)
         control_deps = compute_control_deps(self.body)
-        transfer = FlowTransfer(
-            body=self.body,
-            config=self.config,
-            oracle=oracle,
-            control_deps=control_deps,
-            signatures=self.signatures,
-            provider=self.provider,
-        )
+        if self.config.engine == "object":
+            oracle = make_oracle(self.body, self.signatures, ref_blind=self.config.ref_blind)
+            transfer: FlowTransfer = FlowTransfer(
+                body=self.body,
+                config=self.config,
+                oracle=oracle,
+                control_deps=control_deps,
+                signatures=self.signatures,
+                provider=self.provider,
+            )
+            lattice = ThetaLattice()
+            boundary_state = lambda body: _seed_arguments(body)
+        else:
+            seeds = argument_seed_places(self.body)
+            domain = index_body(
+                self.body, arg_seed_places=[place for _, place in seeds]
+            )
+            # The loan analysis interns into the same place table, so oracle
+            # resolutions arrive already in the engine's index space.
+            oracle = make_oracle(
+                self.body,
+                self.signatures,
+                ref_blind=self.config.ref_blind,
+                place_domain=domain.places,
+            )
+            transfer = IndexedFlowTransfer(
+                body=self.body,
+                config=self.config,
+                oracle=oracle,
+                control_deps=control_deps,
+                signatures=self.signatures,
+                provider=self.provider,
+                domain=domain,
+            )
+            lattice = IndexedThetaLattice(domain)
+            boundary_state = lambda body: _seed_arguments_indexed(domain, seeds)
         engine = ForwardAnalysis(
-            lattice=ThetaLattice(),
+            lattice=lattice,
             transfer=transfer,
-            boundary_state=lambda body: _seed_arguments(body),
+            boundary_state=boundary_state,
         )
         fixpoint = engine.run(self.body)
         return FunctionFlowResult(

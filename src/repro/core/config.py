@@ -39,6 +39,19 @@ class AnalysisConfig:
     # When True (the default), control dependencies of a mutation are added
     # to the mutated place's dependency set.
     track_control_deps: bool = True
+    # Which dataflow substrate runs the analysis.  "bitset" (the default) is
+    # the indexed engine: places/locations interned to dense ints, Θ stored
+    # as an int-bitset matrix with in-place bitwise-or joins.  "object" is
+    # the legacy Dict[Place, FrozenSet[Location]] domain, kept for one
+    # release as the differential-testing reference; both produce identical
+    # results on every query.
+    engine: str = "bitset"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("bitset", "object"):
+            raise ValueError(
+                f"unknown analysis engine {self.engine!r} (expected 'bitset' or 'object')"
+            )
 
     @property
     def name(self) -> str:

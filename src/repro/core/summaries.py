@@ -65,16 +65,18 @@ class WholeProgramSummary:
     # on-disk tier stays greppable.
 
     def to_json_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable dict; inverse of :meth:`from_json_dict`."""
+        """A JSON-serialisable dict; inverse of :meth:`from_json_dict`.
+
+        The compact index form of the cache (format 2): a summary is pure
+        index data already — parameter indices and field paths — so each
+        mutation is a flat ``[param, [path...], [sources...]]`` triple
+        rather than a keyed object.
+        """
         return {
             "callee": self.callee,
             "return_sources": sorted(self.return_sources),
             "mutations": [
-                {
-                    "param": param,
-                    "path": list(path),
-                    "sources": sorted(sources),
-                }
+                [param, list(path), sorted(sources)]
                 for (param, path), sources in sorted(self.mutations.items())
             ],
         }
@@ -83,9 +85,9 @@ class WholeProgramSummary:
     def from_json_dict(cls, data: Dict[str, object]) -> "WholeProgramSummary":
         """Rebuild a summary from :meth:`to_json_dict` output."""
         mutations: Dict[MutationKey, FrozenSet[int]] = {}
-        for entry in data.get("mutations", []):
-            key = (int(entry["param"]), tuple(int(i) for i in entry["path"]))
-            mutations[key] = frozenset(int(i) for i in entry["sources"])
+        for param, path, sources in data.get("mutations", []):
+            key = (int(param), tuple(int(i) for i in path))
+            mutations[key] = frozenset(int(i) for i in sources)
         return cls(
             callee=str(data["callee"]),
             return_sources=frozenset(int(i) for i in data.get("return_sources", [])),

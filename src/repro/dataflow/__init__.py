@@ -13,15 +13,27 @@ Section 4.1 of the paper lists the classical machinery Flowistry reuses:
 from repro.dataflow.graph import CfgView, reverse_post_order
 from repro.dataflow.dominators import DominatorTree, compute_dominators, compute_post_dominators
 from repro.dataflow.control_deps import ControlDependencies, compute_control_deps
-from repro.dataflow.engine import ForwardAnalysis, FixpointResult, JoinSemiLattice
+from repro.dataflow.engine import (
+    ForwardAnalysis,
+    FixpointResult,
+    InPlaceJoinSemiLattice,
+    JoinSemiLattice,
+)
+from repro.dataflow.bitset import BitSet, IndexMatrix, iter_bits, mask_of, popcount
 
 __all__ = [
+    "BitSet",
     "CfgView",
     "ControlDependencies",
     "DominatorTree",
     "FixpointResult",
     "ForwardAnalysis",
+    "IndexMatrix",
+    "InPlaceJoinSemiLattice",
     "JoinSemiLattice",
+    "iter_bits",
+    "mask_of",
+    "popcount",
     "compute_control_deps",
     "compute_dominators",
     "compute_post_dominators",

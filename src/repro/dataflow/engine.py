@@ -37,6 +37,20 @@ class JoinSemiLattice(Protocol[S]):
         """An independent copy of a state that transfer functions may mutate."""
 
 
+class InPlaceJoinSemiLattice(JoinSemiLattice[S], Protocol[S]):
+    """A lattice whose join can mutate the target and report change.
+
+    Bitset domains (the indexed Θ) implement this: ``join_into`` is a
+    key-wise bitwise-or that returns a **dirty bit** — True exactly when the
+    target grew.  The fixpoint driver then needs neither the out-of-place
+    ``join`` nor the full-state ``equals`` on its hot path: change detection
+    falls out of the union itself.
+    """
+
+    def join_into(self, target: S, source: S) -> bool:
+        """Union ``source`` into ``target`` in place; True when it changed."""
+
+
 class TransferFunction(Protocol[S]):
     """Applies the effect of one CFG location to a state, in place."""
 
@@ -52,6 +66,11 @@ class FixpointResult(Generic[S]):
     transfer: TransferFunction
     entry_states: Dict[int, S] = field(default_factory=dict)
     iterations: int = 0
+    # Block out-states recorded during the run: when a block is processed for
+    # the last time its entry state is final, so the state left at the end of
+    # the block is its final exit state — no replay needed.  Unreachable
+    # blocks (never on the worklist) are absent and fall back to replay.
+    recorded_exits: Dict[int, S] = field(default_factory=dict)
 
     def state_at(self, location: Location) -> S:
         """The state *before* executing the instruction at ``location``."""
@@ -67,9 +86,13 @@ class FixpointResult(Generic[S]):
         return state
 
     def exit_states(self) -> Dict[int, S]:
-        """The state at the end of every block."""
+        """The state at the end of every block (callers may mutate freely)."""
         out: Dict[int, S] = {}
         for block_index, block in enumerate(self.body.blocks):
+            recorded = self.recorded_exits.get(block_index)
+            if recorded is not None:
+                out[block_index] = self.lattice.copy(recorded)
+                continue
             state = self.lattice.copy(self.entry_states[block_index])
             for stmt_index in range(block.num_locations()):
                 self.transfer(state, self.body, Location(block_index, stmt_index))
@@ -78,6 +101,20 @@ class FixpointResult(Generic[S]):
 
     def state_at_returns(self) -> S:
         """Join of the exit states of all return blocks (the function's exit state)."""
+        join_into = getattr(self.lattice, "join_into", None)
+        if join_into is not None:
+            result = self.lattice.bottom()
+            replayed: Optional[Dict[int, S]] = None
+            for block in self.body.return_blocks():
+                recorded = self.recorded_exits.get(block)
+                if recorded is None:
+                    # Unreachable return block: fall back to one full replay,
+                    # shared across any further misses.
+                    if replayed is None:
+                        replayed = self.exit_states()
+                    recorded = replayed[block]
+                join_into(result, recorded)
+            return result
         exits = self.exit_states()
         result = self.lattice.bottom()
         for block in self.body.return_blocks():
@@ -116,6 +153,18 @@ class ForwardAnalysis(Generic[S]):
         worklist: List[int] = list(order)
         in_worklist = set(worklist)
         iterations = 0
+        recorded_exits: Dict[int, S] = {}
+
+        # Bitset (indexed) domains join in place and return a dirty bit;
+        # object domains re-join and compare.  Detected once, not per edge.
+        join_into = getattr(self.lattice, "join_into", None)
+
+        # Locations are revisited every time a block re-enters the worklist:
+        # construct each exactly once.
+        block_locations: List[List[Location]] = [
+            [Location(index, stmt) for stmt in range(block.num_locations())]
+            for index, block in enumerate(body.blocks)
+        ]
 
         while worklist:
             iterations += 1
@@ -128,18 +177,25 @@ class ForwardAnalysis(Generic[S]):
 
             state = self.lattice.copy(entry_states[block_index])
             block = body.blocks[block_index]
-            for stmt_index in range(block.num_locations()):
-                self.transfer(state, body, Location(block_index, stmt_index))
+            for location in block_locations[block_index]:
+                self.transfer(state, body, location)
+            # The out-state of the block's *last* processing is its final
+            # exit state; overwritten on every revisit.
+            recorded_exits[block_index] = state
 
             for successor in block.terminator.successors():
-                joined = self.lattice.join(entry_states[successor], state)
-                if not self.lattice.equals(joined, entry_states[successor]):
-                    entry_states[successor] = joined
-                    if successor not in in_worklist:
-                        # Insert keeping rough reverse post-order priority.
-                        in_worklist.add(successor)
-                        worklist.append(successor)
-                        worklist.sort(key=lambda b: position.get(b, len(position)))
+                if join_into is not None:
+                    changed = join_into(entry_states[successor], state)
+                else:
+                    joined = self.lattice.join(entry_states[successor], state)
+                    changed = not self.lattice.equals(joined, entry_states[successor])
+                    if changed:
+                        entry_states[successor] = joined
+                if changed and successor not in in_worklist:
+                    # Insert keeping rough reverse post-order priority.
+                    in_worklist.add(successor)
+                    worklist.append(successor)
+                    worklist.sort(key=lambda b: position.get(b, len(position)))
 
         return FixpointResult(
             body=body,
@@ -147,4 +203,5 @@ class ForwardAnalysis(Generic[S]):
             transfer=self.transfer,
             entry_states=entry_states,
             iterations=iterations,
+            recorded_exits=recorded_exits,
         )

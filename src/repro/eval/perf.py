@@ -16,6 +16,7 @@ graphs — 178× slower on ``GameEngine::render``.  This module reproduces the
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -118,6 +119,197 @@ def compare_deep_call_graph(depth: int = 6, fanout: int = 2) -> PerfComparison:
         call_graph_size=call_graph_size,
         modular_seconds=modular_seconds,
         whole_program_seconds=whole_seconds,
+    )
+
+
+@dataclass
+class EngineComparison:
+    """Bitset (indexed) vs legacy object engine over the same corpus.
+
+    The measured unit mirrors the Figure 2 data collection exactly: for
+    every local-crate function of every corpus crate, run the information
+    flow analysis to fixpoint and extract the per-variable dependency-set
+    sizes at exit.  Parsing/checking/lowering are shared (they are
+    engine-independent), so the ratio isolates the dataflow substrate.
+    Each engine is timed ``rounds`` times alternately and the best round is
+    reported — the shape least sensitive to scheduler noise in CI.
+    """
+
+    condition: str
+    functions: int
+    rounds: int
+    object_seconds: float
+    bitset_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.bitset_seconds <= 0:
+            return float("inf")
+        return self.object_seconds / self.bitset_seconds
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "condition": self.condition,
+            "functions": self.functions,
+            "rounds": self.rounds,
+            "object_ms": round(self.object_seconds * 1e3, 2),
+            "bitset_ms": round(self.bitset_seconds * 1e3, 2),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def compare_engines(
+    corpus: Optional[Sequence[GeneratedCrate]] = None,
+    config: AnalysisConfig = MODULAR,
+    scale: float = 0.15,
+    rounds: int = 3,
+) -> EngineComparison:
+    """Measure the fig2-style end-to-end analysis wall time of both engines.
+
+    Also asserts, while it measures, that both engines report identical
+    dependency sizes for every function — the differential property the
+    benchmark rides on.
+    """
+    from repro.eval.corpus import generate_corpus
+    from repro.eval.experiments import _prepare_crate
+
+    if corpus is None:
+        corpus = generate_corpus(scale=scale)
+    prepared = [_prepare_crate(crate) for crate in corpus]
+    configs = {
+        name: dataclasses.replace(config, engine=name) for name in ("object", "bitset")
+    }
+
+    functions = 0
+    sizes: Dict[str, Dict[Tuple[int, str], Dict[str, int]]] = {"object": {}, "bitset": {}}
+    best: Dict[str, float] = {"object": float("inf"), "bitset": float("inf")}
+    for round_index in range(max(1, rounds)):
+        for engine_name, engine_config in configs.items():
+            start = time.perf_counter()
+            count = 0
+            for crate_index, (checked, lowered) in enumerate(prepared):
+                engine = FlowEngine(checked, lowered=lowered, config=engine_config)
+                for fn_name in engine.local_function_names():
+                    result = engine.analyze_function(fn_name)
+                    sizes[engine_name][(crate_index, fn_name)] = result.dependency_sizes()
+                    count += 1
+            best[engine_name] = min(best[engine_name], time.perf_counter() - start)
+            functions = count
+    if sizes["object"] != sizes["bitset"]:
+        raise AssertionError("bitset and object engines disagree on dependency sizes")
+    return EngineComparison(
+        condition=config.name,
+        functions=functions,
+        rounds=max(1, rounds),
+        object_seconds=best["object"],
+        bitset_seconds=best["bitset"],
+    )
+
+
+def render_engine_report(comparisons: Sequence[EngineComparison]) -> str:
+    """Text report of the bitset-vs-object engine benchmark."""
+    lines = ["Indexed bitset engine vs legacy object engine (fig2 workload):", ""]
+    for cmp in comparisons:
+        lines.append(
+            f"  {cmp.condition:<16} {cmp.functions:4d} functions: "
+            f"object {cmp.object_seconds * 1e3:8.1f} ms -> bitset "
+            f"{cmp.bitset_seconds * 1e3:8.1f} ms (speedup {cmp.speedup:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class ThetaJoinBench:
+    """Microbenchmark of the hottest primitive: the Θ join.
+
+    Synthesises two dependency contexts with ``places`` tracked rows of
+    ``locations_per_place`` dependencies each (disjoint halves, so every
+    join does real merging) and times ``joins`` repeated joins in both
+    representations.  The object engine allocates a frozenset union per
+    overlapping key; the indexed engine does one bitwise-or per row.
+    """
+
+    places: int
+    locations_per_place: int
+    joins: int
+    object_seconds: float
+    bitset_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.bitset_seconds <= 0:
+            return float("inf")
+        return self.object_seconds / self.bitset_seconds
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "places": self.places,
+            "locations_per_place": self.locations_per_place,
+            "joins": self.joins,
+            "object_us_per_join": round(self.object_seconds / self.joins * 1e6, 3),
+            "bitset_us_per_join": round(self.bitset_seconds / self.joins * 1e6, 3),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def theta_join_microbenchmark(
+    places: int = 48, locations_per_place: int = 24, joins: int = 2000
+) -> ThetaJoinBench:
+    """Time repeated Θ joins in the object and indexed representations."""
+    from repro.core.theta import DependencyContext, IndexedDependencyContext
+    from repro.mir.indices import BodyIndex, LocationDomain, PlaceDomain
+    from repro.mir.ir import Location, Place
+
+    all_locations = [
+        Location(block, statement)
+        for block in range(locations_per_place)
+        for statement in range(2)
+    ]
+
+    def object_pair() -> Tuple[DependencyContext, DependencyContext]:
+        left, right = DependencyContext(), DependencyContext()
+        for index in range(places):
+            place = Place.from_local(index)
+            half = locations_per_place // 2
+            left.set(place, all_locations[: half])
+            right.set(place, all_locations[half : locations_per_place])
+        return left, right
+
+    domain = BodyIndex(None, PlaceDomain(), LocationDomain(sorted(all_locations)))
+
+    def indexed_pair() -> Tuple[IndexedDependencyContext, IndexedDependencyContext]:
+        left = IndexedDependencyContext(domain)
+        right = IndexedDependencyContext(domain)
+        for index in range(places):
+            place = Place.from_local(index)
+            half = locations_per_place // 2
+            left.set(place, all_locations[: half])
+            right.set(place, all_locations[half : locations_per_place])
+        return left, right
+
+    obj_left, obj_right = object_pair()
+    start = time.perf_counter()
+    for _ in range(joins):
+        obj_left.join(obj_right)
+    object_seconds = time.perf_counter() - start
+
+    idx_left, idx_right = indexed_pair()
+    start = time.perf_counter()
+    for _ in range(joins):
+        idx_left.join(idx_right)
+    bitset_seconds = time.perf_counter() - start
+
+    # Identical join results in both representations (sanity, not timing).
+    joined_object = obj_left.join(obj_right)
+    joined_indexed = idx_left.join(idx_right)
+    assert dict(joined_object.items()) == dict(joined_indexed.items())
+
+    return ThetaJoinBench(
+        places=places,
+        locations_per_place=locations_per_place,
+        joins=joins,
+        object_seconds=object_seconds,
+        bitset_seconds=bitset_seconds,
     )
 
 

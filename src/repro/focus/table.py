@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.analysis import FunctionFlowResult
-from repro.core.theta import arg_location, is_arg_location
+from repro.core.theta import IndexedDependencyContext, arg_location, is_arg_location
 from repro.errors import QueryError, Span
 from repro.focus.spans import (
     lines_of_spans,
@@ -156,55 +156,115 @@ class FocusTable:
         themselves) — byte-identical to running
         :meth:`FunctionFlowResult.forward_slice` per query, without the
         per-query scan.
+
+        Each block is walked *once*, replaying the transfer function
+        incrementally from the block's fixpoint entry state, instead of
+        re-deriving Θ-after from scratch per location.  Under the indexed
+        engine the whole inversion additionally stays in bit-matrix space
+        (location masks keyed by dependency index) and only converts to
+        location/span objects when the table entries are materialised.
         """
         body = result.body
+        fixpoint = result.fixpoint
+        exit_theta = result.exit_theta
+        indexed = isinstance(exit_theta, IndexedDependencyContext)
+        if indexed:
+            domain = exit_theta.domain
+            loc_index = domain.locations.index
+            place_index = domain.places.index
+            # dependency location index -> bitset of influencee locations.
+            influenced_masks: Dict[int, int] = {}
+        else:
+            influenced: Dict[Location, Set[Location]] = {}
 
-        # One pass: written place per location, and the inverted influence map.
+        # One walk per block: written place per location, and the inverted
+        # influence map.
         writes: List[Tuple[Location, Place]] = []
-        influenced: Dict[Location, Set[Location]] = {}
-        for location in body.locations():
-            instruction = body.instruction_at(location)
-            written: Optional[Place] = None
-            if isinstance(instruction, Statement) and instruction.kind is StatementKind.ASSIGN:
-                written = instruction.place
-            elif isinstance(instruction, CallTerminator):
-                written = instruction.destination
-            if written is None:
-                continue
-            writes.append((location, written))
-            for dep in result.theta_after(location).read_conflicts(written):
-                influenced.setdefault(dep, set()).add(location)
+        for block_idx, block in enumerate(body.blocks):
+            state = fixpoint.lattice.copy(fixpoint.entry_states[block_idx])
+            for stmt_idx in range(block.num_locations()):
+                location = Location(block_idx, stmt_idx)
+                instruction = body.instruction_at(location)
+                written: Optional[Place] = None
+                if isinstance(instruction, Statement) and instruction.kind is StatementKind.ASSIGN:
+                    written = instruction.place
+                elif isinstance(instruction, CallTerminator):
+                    written = instruction.destination
+                fixpoint.transfer(state, body, location)
+                if written is None:
+                    continue
+                writes.append((location, written))
+                if indexed:
+                    location_bit = 1 << loc_index(location)
+                    bits = state.read_conflicts_bits(place_index(written))
+                    while bits:
+                        lsb = bits & -bits
+                        bits ^= lsb
+                        dep = lsb.bit_length() - 1
+                        influenced_masks[dep] = influenced_masks.get(dep, 0) | location_bit
+                else:
+                    for dep in state.read_conflicts(written):
+                        influenced.setdefault(dep, set()).add(location)
 
         # Direct places worth tabulating: every local, plus every projected
         # place the exit state tracks (the analysis' own field-sensitivity
         # decides how fine this gets), plus every written place.
         places: Set[Place] = {Place.from_local(local.index) for local in body.locals}
-        places.update(result.exit_theta.places())
+        places.update(exit_theta.places())
         places.update(place for _, place in writes)
+
+        if indexed:
+            writes_idx = [
+                (loc_index(loc), place_index(written)) for loc, written in writes
+            ]
+            arg_tag_mask = domain.locations.arg_tag_mask
+            locations_of = domain.locations.locations_of
+            conflicts_mask = domain.places.conflicts_mask
 
         table = cls(fn_name=body.fn_name, condition=condition, fingerprint=fingerprint)
         for place in sorted(places, key=lambda p: (p.local, tuple(
             (elem.kind.value, elem.index) for elem in p.projection
         ))):
-            backward = result.backward_slice(place)
-            write_locs: Set[Location] = {
-                loc for loc, written in writes if written.conflicts_with(place)
-            }
-            forward: Set[Location] = set(write_locs)
-            for loc in write_locs:
-                forward |= influenced.get(loc, set())
-            # Parameters are never written in-body: their forward flow is
-            # everything depending on the synthetic argument tag seeded at
-            # entry (matching `forward_slice_locations`).
             local = body.locals[place.local]
-            if local.is_arg and place.is_local():
-                forward |= influenced.get(arg_location(place.local - 1), set())
+            if indexed:
+                # Matrix-row form: backward is the place's exit dependencies
+                # minus seed tags; forward is the union of the influence
+                # masks of its writing locations (plus the writes).
+                backward_bits = exit_theta.read_many_bits(
+                    result.oracle.resolve_indices(place, domain.places)
+                ) & ~arg_tag_mask
+                place_idx = place_index(place)
+                conflicts = conflicts_mask(place_idx)
+                forward_bits = 0
+                for write_loc_idx, written_idx in writes_idx:
+                    if (conflicts >> written_idx) & 1:
+                        forward_bits |= 1 << write_loc_idx
+                        forward_bits |= influenced_masks.get(write_loc_idx, 0)
+                if local.is_arg and place.is_local():
+                    tag_idx = loc_index(arg_location(place.local - 1))
+                    forward_bits |= influenced_masks.get(tag_idx, 0)
+                backward: Tuple[Location, ...] = tuple(locations_of(backward_bits))
+                forward: Tuple[Location, ...] = tuple(locations_of(forward_bits))
+            else:
+                backward = tuple(sorted(result.backward_slice(place)))
+                write_locs: Set[Location] = {
+                    loc for loc, written in writes if written.conflicts_with(place)
+                }
+                forward_set: Set[Location] = set(write_locs)
+                for loc in write_locs:
+                    forward_set |= influenced.get(loc, set())
+                # Parameters are never written in-body: their forward flow is
+                # everything depending on the synthetic argument tag seeded at
+                # entry (matching `forward_slice_locations`).
+                if local.is_arg and place.is_local():
+                    forward_set |= influenced.get(arg_location(place.local - 1), set())
+                forward = tuple(sorted(forward_set))
             entry = FocusEntry(
                 place=place,
                 label=place.pretty(body),
                 defining_span=body.locals[place.local].span,
-                backward=tuple(sorted(backward)),
-                forward=tuple(sorted(forward)),
+                backward=backward,
+                forward=forward,
                 backward_spans=normalize_spans(
                     location_span(body, loc) for loc in backward
                 ),

@@ -48,6 +48,12 @@ class PlaceElem:
     kind: ProjectionKind
     index: int = 0  # field index; unused for derefs
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.kind, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     @staticmethod
     def deref() -> "PlaceElem":
         return PlaceElem(ProjectionKind.DEREF)
@@ -74,6 +80,14 @@ class Place:
 
     local: int
     projection: Tuple[PlaceElem, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Places key the dependency context, the interning tables, and every
+        # memo on the analysis hot path: compute the hash once.
+        object.__setattr__(self, "_hash", hash((self.local, self.projection)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @staticmethod
     def from_local(local: int) -> "Place":
@@ -445,11 +459,22 @@ class Location:
     """A point in the CFG: block index plus statement index.
 
     The statement index ``len(block.statements)`` denotes the terminator.
-    Locations are the dependency labels collected by the analysis.
+    Locations are the dependency labels collected by the analysis: they are
+    hashed millions of times per fixpoint (as Θ set elements and interning
+    keys), so the hash is computed once at construction.  The generated
+    ordering (``(block, statement)`` lexicographic) is total, which lets the
+    interning tables of :mod:`repro.mir.indices` assign indices monotone in
+    location order and iterate bitsets deterministically without sorting.
     """
 
     block: int
     statement: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.block, self.statement)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def pretty(self) -> str:
         return f"bb{self.block}[{self.statement}]"

@@ -33,6 +33,7 @@ from repro.core.engine import FlowEngine, RecursiveSummaryProvider
 from repro.core.summaries import WholeProgramSummary
 from repro.core.theta import is_arg_location
 from repro.mir.callgraph import CallGraph
+from repro.mir.indices import index_body
 from repro.mir.ir import Body, Location, Place, RETURN_LOCAL
 from repro.mir.lower import LoweredProgram
 from repro.mir.pretty import pretty_body
@@ -44,6 +45,13 @@ from repro.mir.pretty import pretty_body
 KIND_RECORD = "record"
 KIND_SUMMARY = "summary"
 KIND_FOCUS = "focus"
+
+# On-disk / wire format version of cached values.  Bumped to 2 when records
+# moved to the compact index form (a per-record location table plus integer
+# indices) and body fingerprints started covering the interning-table digest;
+# the version participates in every key digest, so entries written by an
+# older release are simply unreachable rather than misdecoded.
+CACHE_FORMAT_VERSION = 2
 
 
 def _digest(text: str) -> str:
@@ -80,7 +88,10 @@ class CacheKey:
 
     def file_name(self) -> str:
         """The disk-tier file name: a digest of the full key, ``.json``."""
-        return _digest(f"{self.kind}|{self.fn_name}|{self.fingerprint}|{self.condition}") + ".json"
+        return _digest(
+            f"v{CACHE_FORMAT_VERSION}|{self.kind}|{self.fn_name}|"
+            f"{self.fingerprint}|{self.condition}"
+        ) + ".json"
 
     def to_json_dict(self) -> Dict[str, str]:
         """The key's JSON form (stored next to the value for verification)."""
@@ -136,13 +147,22 @@ class FingerprintIndex:
         return self._sig[name]
 
     def body_fingerprint(self, name: str) -> Optional[str]:
-        """Fingerprint of the lowered body text, or ``None`` for extern fns."""
+        """Fingerprint of the lowered body text, or ``None`` for extern fns.
+
+        Covers the body's interning tables too (their digest is derived from
+        the same body, so content addressing is unchanged): summaries and
+        records are serialised in index form, and a value must never be
+        decoded against tables other than the ones it was encoded with.
+        """
         if name not in self._body:
             body = self.lowered.body(name)
             if body is None:
                 self._body[name] = None
             else:
-                self._body[name] = _digest(f"{body.crate}::{pretty_body(body)}")
+                tables = index_body(body, seed_statements=True)
+                self._body[name] = _digest(
+                    f"{body.crate}::{pretty_body(body)}|tables={tables.digest()}"
+                )
         return self._body[name]
 
     def _node_fingerprint(self, name: str) -> str:
@@ -432,9 +452,14 @@ class SummaryStore:
 class FunctionRecord:
     """The query-facing cached result of analysing one function.
 
-    Locations are serialised as ``[block, statement]`` pairs; the synthetic
-    argument tags use their in-engine encoding (``block == -2``), so the
-    record round-trips losslessly through JSON.
+    Serialised in the **compact index form** (cache format version
+    {CACHE_FORMAT_VERSION}): the record carries one interning table —
+    ``locations``, the sorted ``[block, statement]`` pairs the exit state
+    mentions, with the synthetic argument tags in their in-engine encoding
+    (``block == -2``) — and every per-variable dependency list is a list of
+    integer indices into it.  Dependency sets overlap heavily across
+    variables (that is what Θ's join produces), so the table is written once
+    instead of per variable, and the record round-trips losslessly.
     """
 
     fn_name: str
@@ -446,20 +471,28 @@ class FunctionRecord:
 
     def to_json_dict(self) -> dict:
         """The record as the JSON value stored in the :class:`SummaryStore`."""
+        table: List[Tuple[int, int]] = sorted(
+            {loc for locs in self.exit_deps.values() for loc in locs}
+        )
+        index = {loc: i for i, loc in enumerate(table)}
         return {
+            "format": CACHE_FORMAT_VERSION,
             "fn_name": self.fn_name,
             "crate": self.crate,
             "condition": self.condition,
             "fingerprint": self.fingerprint,
             "dependency_sizes": dict(self.dependency_sizes),
+            "locations": [list(loc) for loc in table],
             "exit_deps": {
-                var: [list(loc) for loc in locs] for var, locs in self.exit_deps.items()
+                var: [index[loc] for loc in locs]
+                for var, locs in self.exit_deps.items()
             },
         }
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "FunctionRecord":
         """Rebuild a record from :meth:`to_json_dict` output (lossless)."""
+        table = [(int(loc[0]), int(loc[1])) for loc in data["locations"]]
         return cls(
             fn_name=str(data["fn_name"]),
             crate=str(data["crate"]),
@@ -467,8 +500,8 @@ class FunctionRecord:
             fingerprint=str(data["fingerprint"]),
             dependency_sizes={str(k): int(v) for k, v in data["dependency_sizes"].items()},
             exit_deps={
-                str(var): [(int(loc[0]), int(loc[1])) for loc in locs]
-                for var, locs in data["exit_deps"].items()
+                str(var): [table[int(i)] for i in indices]
+                for var, indices in data["exit_deps"].items()
             },
         )
 

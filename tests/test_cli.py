@@ -99,6 +99,47 @@ def test_slice_command_forward(source_file):
     assert "forward slice" in output
 
 
+def test_stats_command_prints_substrate_table(source_file):
+    code, output = run_cli("stats", source_file)
+    assert code == 0
+    assert "interned" in output or "places" in output
+    assert "get_count" in output
+    assert "// condition: Modular" in output
+
+
+def test_stats_command_json_output(source_file):
+    import json
+
+    code, output = run_cli("stats", source_file, "--json", "--whole-program")
+    assert code == 0
+    data = json.loads(output)
+    assert data["condition"] == "Whole-program"
+    for row in data["functions"]:
+        assert row["interned_places"] > 0
+        assert row["interned_locations"] >= row["instructions"]
+        assert row["fixpoint_iterations"] >= 1
+        assert 0.0 <= row["exit_density"] <= 1.0
+
+
+def test_stats_command_unknown_function_is_an_error(source_file):
+    code, output = run_cli("stats", source_file, "--function", "nope")
+    assert code == 2
+    assert "error" in output
+
+
+def test_stats_command_rejects_object_engine(source_file):
+    code, output = run_cli("stats", source_file, "--engine", "object")
+    assert code == 2
+    assert "bitset" in output
+
+
+def test_analyze_engine_flag_object_matches_bitset(source_file):
+    code_obj, out_obj = run_cli("analyze", source_file, "--engine", "object")
+    code_bit, out_bit = run_cli("analyze", source_file, "--engine", "bitset")
+    assert code_obj == code_bit == 0
+    assert out_obj == out_bit
+
+
 def test_ifc_command_reports_violation_with_nonzero_exit(ifc_file):
     code, output = run_cli(
         "ifc", ifc_file, "--secret-type", "Password", "--sink", "insecure_print"
@@ -160,7 +201,7 @@ def test_experiment_command_small_scale():
 
 
 ALL_SUBCOMMANDS = [
-    "mir", "analyze", "slice", "focus", "ifc", "corpus",
+    "mir", "analyze", "slice", "focus", "stats", "ifc", "corpus",
     "experiment", "serve", "workspace", "version", "query",
 ]
 

@@ -1,0 +1,68 @@
+"""Differential property test: bitset engine ≡ legacy object engine.
+
+The indexed bitset substrate is only allowed to be *fast*; every observable
+result must be identical to the legacy object domain it replaces.  For every
+crate of the (scaled-down) evaluation corpus and every one of the 2³
+analysis conditions of Table 2, both engines are run over every local
+function and compared on:
+
+* the tracked places and exit-Θ dependency sets (``exit_theta.items()``),
+* the per-variable dependency sizes (the Figure 2 measurement),
+* the Θ annotations rendered per location (Figure 1 printouts),
+* the serialised :class:`~repro.service.cache.FunctionRecord` (the service's
+  query answer, minus the condition string which names the engine), and
+* the serialised :class:`~repro.focus.table.FocusTable` (focus/slice
+  answers).
+
+Warm-vs-cold byte-equality of service answers is covered separately by
+``test_service_cache.py``; this file pins the engine axis.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import all_conditions
+from repro.core.engine import FlowEngine
+from repro.eval.corpus import generate_corpus
+from repro.focus.table import FocusTable
+from repro.service.cache import FunctionRecord
+
+CORPUS = generate_corpus(scale=0.06)
+
+
+@pytest.mark.parametrize(
+    "condition", all_conditions(), ids=lambda c: c.name or "Modular"
+)
+def test_bitset_engine_matches_object_engine_on_corpus(condition):
+    for crate in CORPUS:
+        object_engine = FlowEngine.from_source(
+            crate.source, config=dataclasses.replace(condition, engine="object")
+        )
+        bitset_engine = FlowEngine.from_source(
+            crate.source, config=dataclasses.replace(condition, engine="bitset")
+        )
+        for fn_name in object_engine.local_function_names():
+            obj = object_engine.analyze_function(fn_name)
+            bit = bitset_engine.analyze_function(fn_name)
+            context = (condition.name, crate.name, fn_name)
+
+            assert dict(obj.exit_theta.items()) == dict(bit.exit_theta.items()), context
+            assert obj.dependency_sizes() == bit.dependency_sizes(), context
+            assert obj.dependency_sizes(count_arg_tags=False) == bit.dependency_sizes(
+                count_arg_tags=False
+            ), context
+            assert obj.annotations() == bit.annotations(), context
+
+            obj_record = FunctionRecord.from_result(obj, "fp", "cond").to_json_dict()
+            bit_record = FunctionRecord.from_result(bit, "fp", "cond").to_json_dict()
+            assert obj_record == bit_record, context
+
+            obj_table = FocusTable.build(obj, fingerprint="fp").to_json_dict()
+            bit_table = FocusTable.build(bit, fingerprint="fp").to_json_dict()
+            assert obj_table == bit_table, context
+
+
+def test_engine_field_is_validated():
+    with pytest.raises(ValueError):
+        dataclasses.replace(all_conditions()[0], engine="quantum")
