@@ -21,8 +21,23 @@ def bench_scale() -> float:
 
 
 def write_report(report_dir: Path, name: str, text: str) -> Path:
-    """Persist a rendered table/figure and echo it to stdout."""
+    """Persist a rendered table/figure and echo it to stdout.
+
+    Creates the report directory idempotently so callers can write without
+    going through the ``report_dir`` fixture (CLI runs, fuzz campaigns).
+    """
+    report_dir.mkdir(parents=True, exist_ok=True)
     path = report_dir / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n[report written to {path}]")
+    return path
+
+
+def write_json_report(report_dir: Path, name: str, data) -> Path:
+    """Persist a machine-readable report next to its rendered twin."""
+    import json
+
+    report_dir.mkdir(parents=True, exist_ok=True)
+    path = report_dir / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path

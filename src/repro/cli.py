@@ -12,6 +12,11 @@ extension) with a small set of subcommands over MiniRust source files:
   sizes, exit-Θ bitset density, and fixpoint iteration counts (debugging
   aid for the indexed dataflow substrate),
 * ``repro ifc FILE --secret-type T ... --sink F ...`` — run the IFC checker,
+* ``repro fuzz [--seed N --count K --size S]`` — run a differential fuzzing
+  campaign (seeded program generation + the five-oracle battery, shrinking
+  any failure to a minimal repro artifact); ``repro fuzz repro ART.json``
+  replays an artifact; ``repro stats --campaign REPORT.json`` renders the
+  feature-coverage histogram,
 * ``repro corpus [--scale S] [--crate NAME]`` — generate the evaluation corpus,
 * ``repro experiment [--scale S]`` — run the Section 5 experiment and print
   the headline comparison,
@@ -138,10 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser(
         "stats",
         help="per-function interning-table sizes, bitset density, and "
-             "fixpoint iteration counts (debugging aid for the indexed substrate)",
+             "fixpoint iteration counts; --campaign renders the "
+             "feature-coverage histogram of a fuzz campaign report",
     )
-    stats.add_argument("file")
+    stats.add_argument("file", nargs="?",
+                       help="MiniRust file (omit when using --campaign)")
     stats.add_argument("--function", help="only this function (default: all)")
+    stats.add_argument("--campaign", metavar="REPORT_JSON",
+                       help="render per-campaign aggregates (feature-coverage "
+                            "histogram, oracle pass/fail counts) from a "
+                            "`repro fuzz` JSON report instead of file stats")
     stats.add_argument("--json", action="store_true", help="machine-readable output")
     _add_condition_flags(stats)
 
@@ -152,6 +163,40 @@ def build_parser() -> argparse.ArgumentParser:
                      help="NAME or FUNCTION:NAME")
     ifc.add_argument("--sink", action="append", default=[], dest="sinks",
                      help="function treated as an insecure operation")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing & metamorphic testing: `repro fuzz` runs a "
+             "budgeted campaign over seeded generated programs; "
+             "`repro fuzz repro ARTIFACT.json` replays a shrunk repro artifact",
+    )
+    fuzz.add_argument(
+        "repro_args", nargs="*", metavar="repro ARTIFACT",
+        help="replay mode: the literal word `repro` followed by an artifact path",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first seed; program i uses seed+i (default: 0)")
+    fuzz.add_argument("--count", type=int, default=50,
+                      help="number of programs to generate (default: 50)")
+    fuzz.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                      help="stop generating after this many seconds")
+    fuzz.add_argument("--size", default="small", choices=["small", "medium", "large"],
+                      help="generator size profile (default: small)")
+    fuzz.add_argument("--oracles",
+                      help="comma-separated oracle subset (default: all five)")
+    fuzz.add_argument("--inject", metavar="NAME",
+                      help="add a synthetic always-wrong oracle (exercises the "
+                           "shrink/repro pipeline; see docs/FUZZING.md)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="keep failing programs unreduced")
+    fuzz.add_argument("--report-dir", default="benchmarks/reports",
+                      help="where the campaign JSON and repro artifacts are "
+                           "written (created idempotently; default: "
+                           "benchmarks/reports)")
+    fuzz.add_argument("--export-corpus", metavar="DIR",
+                      help="also write every generated program as a .mrs file")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print the campaign report as JSON")
 
     corpus = sub.add_parser("corpus", help="generate the synthetic evaluation corpus")
     corpus.add_argument("--scale", type=float, default=0.25)
@@ -315,6 +360,27 @@ def cmd_focus(args: argparse.Namespace, out) -> int:
 def cmd_stats(args: argparse.Namespace, out) -> int:
     import json
 
+    if args.campaign is not None:
+        from repro.fuzz.campaign import render_feature_histogram, render_oracle_counts
+
+        data = json.loads(Path(args.campaign).read_text(encoding="utf-8"))
+        if args.json:
+            aggregates = {
+                key: data.get(key)
+                for key in ("generated", "seed", "size", "oracle_counts",
+                            "feature_histogram", "feature_programs", "total_loc")
+            }
+            out.write(json.dumps(aggregates, indent=2, sort_keys=True) + "\n")
+            return 0
+        out.write(render_feature_histogram(data) + "\n")
+        counts = data.get("oracle_counts") or {}
+        if counts:
+            out.write("\noracle battery:\n")
+            out.write("\n".join(render_oracle_counts(counts)) + "\n")
+        return 0
+    if args.file is None:
+        raise ReproError("`stats` needs a FILE (or --campaign REPORT_JSON)")
+
     # Table sizes / density / dirty-bit counts only exist on the indexed
     # substrate; the condition flags still select what is analysed.
     config = _config_from_args(args)
@@ -378,6 +444,91 @@ def cmd_ifc(args: argparse.Namespace, out) -> int:
     violations = checker.check_all()
     out.write(checker.report() + "\n")
     return 1 if violations else 0
+
+
+def cmd_fuzz(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.fuzz.campaign import (
+        CampaignConfig,
+        render_campaign_report,
+        run_campaign,
+    )
+
+    if args.repro_args:
+        if args.repro_args[0] != "repro" or len(args.repro_args) != 2:
+            raise ReproError(
+                "usage: `repro fuzz [flags]` for a campaign, or "
+                "`repro fuzz repro ARTIFACT.json` to replay a shrunk repro"
+            )
+        return _fuzz_replay(args.repro_args[1], args, out)
+
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        time_budget=args.time_budget,
+        size=args.size,
+        oracles=[name.strip() for name in args.oracles.split(",")] if args.oracles else None,
+        inject=args.inject,
+        shrink_failures=not args.no_shrink,
+        report_dir=args.report_dir,
+        export_dir=args.export_corpus,
+    )
+    report = run_campaign(config)
+    if args.json:
+        out.write(json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_campaign_report(report) + "\n")
+    return 0 if report.passed else 1
+
+
+def _fuzz_replay(artifact_path: str, args: argparse.Namespace, out) -> int:
+    """``repro fuzz repro ARTIFACT``: re-run the recorded oracle on the
+    shrunk program.  Exit 0 when the failure reproduces as recorded, 1 when
+    it no longer does (fixed or flaky)."""
+    import json
+
+    from repro.errors import render_error_with_source
+    from repro.fuzz.campaign import replay_artifact
+
+    outcome = replay_artifact(artifact_path)
+    artifact = outcome.artifact
+    if args.json:
+        out.write(json.dumps({
+            "artifact": artifact_path,
+            "oracle": artifact["oracle"],
+            "seed": artifact["seed"],
+            "reproduced": outcome.reproduced,
+            "verdicts": [v.to_json_dict() for v in outcome.verdicts],
+        }, indent=2, sort_keys=True) + "\n")
+        return 0 if outcome.reproduced else 1
+
+    out.write(
+        f"replaying artifact {artifact_path} "
+        f"(seed {artifact['seed']}, oracle {artifact['oracle']})\n\n"
+    )
+    out.write(artifact["source"].rstrip("\n") + "\n\n")
+    for verdict in outcome.verdicts:
+        status = "FAIL" if not verdict.ok else "pass"
+        out.write(f"[{status}] {verdict.oracle}: {verdict.detail or 'ok'}\n")
+        # Front-end failures carry a span inside the detail; re-run the
+        # pipeline to surface line:column plus the offending source lines.
+        if not verdict.ok and verdict.oracle == "validate":
+            from repro.fuzz.oracles import prepare
+
+            try:
+                prepare(artifact["source"], artifact.get("crate_name", "fuzzed"))
+            except ReproError as error:
+                out.write(
+                    render_error_with_source(
+                        error, artifact["source"], filename=artifact_path
+                    ) + "\n"
+                )
+    out.write(
+        "\nverdict: "
+        + ("reproduced as recorded\n" if outcome.reproduced else "did NOT reproduce\n")
+    )
+    return 0 if outcome.reproduced else 1
 
 
 def cmd_corpus(args: argparse.Namespace, out) -> int:
@@ -593,6 +744,7 @@ _HANDLERS = {
     "focus": cmd_focus,
     "stats": cmd_stats,
     "ifc": cmd_ifc,
+    "fuzz": cmd_fuzz,
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,
     "serve": cmd_serve,
@@ -611,6 +763,22 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         return handler(args, out)
     except ReproError as error:
+        # Span-carrying failures (parse/typecheck/lowering) print with
+        # line:column and a source excerpt when the input file is at hand.
+        from repro.errors import DUMMY_SPAN, render_error_with_source
+
+        span = getattr(error, "span", DUMMY_SPAN)
+        file_path = getattr(args, "file", None)
+        if span is not None and not span.is_dummy() and file_path:
+            try:
+                source = _read_source(file_path)
+            except OSError:
+                source = None
+            if source is not None:
+                out.write(
+                    render_error_with_source(error, source, filename=file_path) + "\n"
+                )
+                return 2
         out.write(f"error: {error}\n")
         return 2
     except FileNotFoundError as error:

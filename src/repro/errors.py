@@ -279,10 +279,19 @@ class DiagnosticSink:
         return bool(self.errors)
 
     def raise_if_errors(self, exc_class=ReproError) -> None:
-        """Raise ``exc_class`` with a combined message if any error was recorded."""
+        """Raise ``exc_class`` with a combined message if any error was recorded.
+
+        The first error's span is attached to the raised exception so
+        callers (the CLI, fuzz repro rendering) can point at the offending
+        source position even for multi-diagnostic failures.
+        """
         if self.has_errors():
-            message = "\n".join(d.render() for d in self.errors)
-            raise exc_class(message)
+            errors = self.errors
+            message = "\n".join(d.render() for d in errors)
+            error = exc_class(message)
+            if getattr(error, "span", DUMMY_SPAN) == DUMMY_SPAN:
+                error.span = errors[0].span
+            raise error
 
     def extend(self, other: "DiagnosticSink") -> None:
         self.diagnostics.extend(other.diagnostics)
@@ -292,6 +301,60 @@ class DiagnosticSink:
 
     def render(self) -> str:
         return "\n".join(d.render() for d in self.diagnostics)
+
+
+def source_excerpt(source: str, span: Span, context: int = 1) -> str:
+    """A numbered source excerpt with the span underlined, compiler-style.
+
+    Shows ``context`` lines either side of the span and a caret line under
+    the offending columns (``^`` across the span on its first line; spans
+    covering several lines underline to the end of the first line).  Returns
+    an empty string for dummy spans or positions outside the source, so
+    callers can append it unconditionally.
+    """
+    if span.is_dummy():
+        return ""
+    lines = source.splitlines()
+    if span.start_line < 1 or span.start_line > len(lines):
+        return ""
+    first = max(1, span.start_line - context)
+    last = min(len(lines), max(span.end_line, span.start_line) + context)
+    width = len(str(last))
+    out: List[str] = []
+    for number in range(first, last + 1):
+        text = lines[number - 1]
+        out.append(f"  {number:>{width}} | {text}")
+        if number == span.start_line:
+            start_col = max(1, span.start_col)
+            if span.end_line == span.start_line and span.end_col > span.start_col:
+                caret_width = span.end_col - span.start_col
+            else:
+                caret_width = max(1, len(text) - start_col + 1)
+            out.append(
+                f"  {'':>{width}} | " + " " * (start_col - 1) + "^" * max(1, caret_width)
+            )
+    return "\n".join(out)
+
+
+def render_error_with_source(
+    error: Exception, source: str, filename: str = "<input>"
+) -> str:
+    """``line:column`` plus a source excerpt for any span-carrying error.
+
+    Works on every :class:`ReproError` subclass that records a ``span``
+    (parse, typecheck, lowering, eval, query errors); errors without a usable
+    span fall back to the plain message.  This is how shrunk fuzz repros stay
+    debuggable from the CLI: ``repro fuzz repro`` and the top-level error
+    path both print through here.
+    """
+    span = getattr(error, "span", None)
+    header = f"error: {error}"
+    if isinstance(span, Span) and not span.is_dummy():
+        header = f"error at {filename}:{span.start_line}:{span.start_col}: {error}"
+        excerpt = source_excerpt(source, span)
+        if excerpt:
+            return f"{header}\n{excerpt}"
+    return header
 
 
 def first_error(diags: Iterable[Diagnostic]) -> Optional[Diagnostic]:

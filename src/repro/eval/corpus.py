@@ -715,3 +715,36 @@ def generate_corpus(
     """Generate the full 10-crate corpus (optionally scaled down for tests)."""
     chosen = specs if specs is not None else PAPER_CRATE_SPECS
     return [generate_crate(spec.scaled(scale)) for spec in chosen]
+
+
+def generate_fuzz_corpus(
+    count: int = 6, seed: int = 0, size: str = "medium"
+) -> List[GeneratedCrate]:
+    """A corpus of :mod:`repro.fuzz` generated crates, template-corpus shaped.
+
+    Each crate is one seeded fuzz program (grammar-directed, feature-diverse)
+    wrapped in the :class:`GeneratedCrate` interface the experiment and perf
+    harnesses consume, so the fig2-style workloads can run over program
+    shapes — deep borrow chains, dense branching, generated call graphs —
+    that the hand-built template corpus never produces, at any ``count``.
+    """
+    from repro.fuzz.generator import generate_program, profile
+
+    crates: List[GeneratedCrate] = []
+    for index in range(max(0, count)):
+        name = f"fuzz{index}"
+        program = generate_program(seed + index, profile(size, crate_name=name))
+        spec = CrateSpec(
+            name=name,
+            seed=seed + index,
+            description=f"repro.fuzz generated workload (size={size})",
+            features="fuzz",
+        )
+        crates.append(
+            GeneratedCrate(
+                spec=spec,
+                source=program.source,
+                program=parse_program(program.source, local_crate=name),
+            )
+        )
+    return crates

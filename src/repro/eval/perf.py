@@ -206,6 +206,27 @@ def compare_engines(
     )
 
 
+def compare_engines_on_fuzz_corpus(
+    count: int = 6,
+    seed: int = 0,
+    size: str = "medium",
+    config: AnalysisConfig = MODULAR,
+    rounds: int = 2,
+) -> EngineComparison:
+    """The fig2 engine comparison over a :mod:`repro.fuzz` generated corpus.
+
+    Identical measurement protocol to :func:`compare_engines`, but the
+    workload comes from the seeded fuzz generator — program shapes (and
+    scales) the hand-built template corpus cannot reach.  The differential
+    size check inside :func:`compare_engines` still runs, so this doubles as
+    an engine-equivalence pass over the fuzz corpus.
+    """
+    from repro.eval.corpus import generate_fuzz_corpus
+
+    corpus = generate_fuzz_corpus(count=count, seed=seed, size=size)
+    return compare_engines(corpus=corpus, config=config, rounds=rounds)
+
+
 def render_engine_report(comparisons: Sequence[EngineComparison]) -> str:
     """Text report of the bitset-vs-object engine benchmark."""
     lines = ["Indexed bitset engine vs legacy object engine (fig2 workload):", ""]

@@ -1,0 +1,49 @@
+"""``repro.fuzz`` — differential fuzzing and metamorphic testing.
+
+The paper's claim is that modular, ownership-based information flow is sound
+and precise across real programs; the rest of this repository tests that
+claim against one hand-built corpus and fixed unit tests.  This subsystem
+turns scenario diversity into a machine-checked property:
+
+* :mod:`repro.fuzz.generator` — a seeded, grammar-directed random program
+  generator producing well-typed multi-function MiniRust programs
+  (byte-identical output per seed),
+* :mod:`repro.fuzz.oracles` — the metamorphic/differential oracle battery
+  run on every generated program (engine equivalence, cache byte-equality,
+  interpreter-backed noninterference, focus-table agreement, MIR validity),
+* :mod:`repro.fuzz.reduce` — a delta-debugging shrinker that minimises a
+  failing program while preserving the oracle verdict,
+* :mod:`repro.fuzz.campaign` — budgeted campaigns, JSON reports, corpus
+  export, and self-contained repro artifacts behind ``repro fuzz``.
+"""
+
+from repro.fuzz.campaign import CampaignConfig, CampaignReport, run_campaign
+from repro.fuzz.generator import (
+    SIZE_PROFILES,
+    GeneratedProgram,
+    GeneratorConfig,
+    generate_program,
+    generate_source,
+)
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLES,
+    OracleVerdict,
+    run_battery,
+)
+from repro.fuzz.reduce import ReductionResult, shrink
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_ORACLES",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "OracleVerdict",
+    "ReductionResult",
+    "SIZE_PROFILES",
+    "generate_program",
+    "generate_source",
+    "run_battery",
+    "run_campaign",
+    "shrink",
+]

@@ -1,0 +1,187 @@
+"""Delta-debugging reduction of failing fuzz programs.
+
+The shrinker is structure-aware but text-based: it parses the current
+candidate, collects removable *units* (whole functions, then individual
+statements, each with the source-line range its span covers), and greedily
+tries removing them largest-first.  A candidate is accepted only when the
+caller's predicate — "the oracle still fails with the same signature" —
+holds, so reduction can never drift from one failure mode into another.
+
+Because the only operation is whole-line removal, two properties hold by
+construction and are locked in by tests:
+
+* **monotonicity** — the line count never increases across accepted steps,
+* **idempotence** — re-shrinking an already shrunk program is a no-op
+  (the final pass over every unit made no progress; a rerun repeats it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.errors import ReproError
+from repro.fuzz.generator import count_loc
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+@dataclass
+class ReductionResult:
+    """The outcome of shrinking one failing program."""
+
+    original: str
+    reduced: str
+    probes: int
+    rounds: int
+
+    @property
+    def original_loc(self) -> int:
+        return count_loc(self.original)
+
+    @property
+    def reduced_loc(self) -> int:
+        return count_loc(self.reduced)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "original_loc": self.original_loc,
+            "reduced_loc": self.reduced_loc,
+            "probes": self.probes,
+            "rounds": self.rounds,
+        }
+
+
+def _stmt_blocks(stmt: ast.Stmt) -> List[ast.Block]:
+    """Nested blocks reachable from one statement (for recursive walks)."""
+    if isinstance(stmt, ast.WhileStmt):
+        return [stmt.body]
+    if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.If):
+        blocks = [stmt.expr.then_block]
+        if stmt.expr.else_block is not None:
+            blocks.append(stmt.expr.else_block)
+        return blocks
+    return []
+
+
+def walk_statements(block: ast.Block):
+    """Yield every statement in ``block``, descending into nested blocks.
+
+    Shared with :mod:`repro.fuzz.oracles` (the injected oracles) so both
+    sides always agree on what a program contains.
+    """
+    for stmt in block.stmts:
+        yield stmt
+        for nested in _stmt_blocks(stmt):
+            yield from walk_statements(nested)
+
+
+def removable_units(source: str, crate_name: str = "fuzzed") -> List[Tuple[int, int, str]]:
+    """``(start_line, end_line, kind)`` of every removable unit, largest first.
+
+    Function bodies come first (whole definitions disappear in one accepted
+    probe when nothing depends on them), then struct/extern items, then
+    individual statements.  Returns an empty list when the source no longer
+    parses (nothing structured left to remove).
+    """
+    try:
+        program = parse_program(source, local_crate=crate_name)
+    except ReproError:
+        return []
+    functions: List[Tuple[int, int, str]] = []
+    items: List[Tuple[int, int, str]] = []
+    statements: List[Tuple[int, int, str]] = []
+    for crate in program.crates:
+        for struct in crate.structs():
+            if not struct.span.is_dummy():
+                items.append((struct.span.start_line, struct.span.end_line, "struct"))
+        for fn in crate.functions():
+            if fn.span.is_dummy():
+                continue
+            if fn.body is None:
+                # Signature-only (extern) declarations are single-line items.
+                items.append((fn.span.start_line, fn.span.end_line, "extern"))
+                continue
+            functions.append((fn.span.start_line, fn.span.end_line, "fn"))
+            for stmt in walk_statements(fn.body):
+                if stmt.span.is_dummy():
+                    continue
+                statements.append((stmt.span.start_line, stmt.span.end_line, "stmt"))
+
+    def size(unit: Tuple[int, int, str]) -> Tuple[int, int]:
+        return (unit[1] - unit[0], unit[1])
+
+    functions.sort(key=size, reverse=True)
+    items.sort(key=size, reverse=True)
+    statements.sort(key=size, reverse=True)
+    return functions + items + statements
+
+
+def remove_lines(source: str, start_line: int, end_line: int) -> str:
+    """Delete the 1-based inclusive line range from ``source``."""
+    lines = source.splitlines()
+    kept = [
+        line
+        for number, line in enumerate(lines, start=1)
+        if number < start_line or number > end_line
+    ]
+    return "\n".join(kept) + ("\n" if source.endswith("\n") else "")
+
+
+def shrink(
+    source: str,
+    predicate: Callable[[str], bool],
+    crate_name: str = "fuzzed",
+    max_probes: int = 1500,
+) -> ReductionResult:
+    """Minimise ``source`` while ``predicate`` (same failure) stays true.
+
+    ``predicate`` receives a candidate source and must return ``True`` only
+    when the candidate still exhibits the target failure; candidates that no
+    longer parse or fail differently should return ``False``.
+    """
+    current = source
+    probes = 0
+    rounds = 0
+    changed = True
+    while changed and probes < max_probes:
+        rounds += 1
+        changed = False
+        units = removable_units(current, crate_name)
+        index = 0
+        while index < len(units) and probes < max_probes:
+            start, end, _kind = units[index]
+            candidate = remove_lines(current, start, end)
+            if candidate == current:
+                index += 1
+                continue
+            probes += 1
+            if predicate(candidate):
+                current = candidate
+                changed = True
+                units = removable_units(current, crate_name)
+                index = 0
+            else:
+                index += 1
+
+    # Cosmetic last step: collapse blank-line runs (still predicate-gated, so
+    # even formatting cannot change the verdict).
+    collapsed = _collapse_blank_lines(current)
+    if collapsed != current and probes < max_probes:
+        probes += 1
+        if predicate(collapsed):
+            current = collapsed
+
+    return ReductionResult(original=source, reduced=current, probes=probes, rounds=rounds)
+
+
+def _collapse_blank_lines(source: str) -> str:
+    out: List[str] = []
+    previous_blank = False
+    for line in source.splitlines():
+        blank = not line.strip()
+        if blank and previous_blank:
+            continue
+        previous_blank = blank
+        out.append(line)
+    return "\n".join(out) + ("\n" if source.endswith("\n") else "")

@@ -8,7 +8,7 @@ suite on every lowered function of the corpus.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.errors import LoweringError
 from repro.mir.ir import (
@@ -125,6 +125,29 @@ def span_problems(body: Body) -> List[str]:
             problems.append(
                 f"bb{block_idx}[terminator]: {terminator.pretty(body)} has a dummy span"
             )
+    return problems
+
+
+def validate_program(
+    lowered, check_spans: bool = False, local_only: bool = False
+) -> Dict[str, List[str]]:
+    """Validate every lowered body of a program at once.
+
+    Returns a mapping from function name to its problem list, containing only
+    functions with problems (empty dict == fully valid).  With ``local_only``
+    dependency-crate bodies are skipped — the shape the fuzzing oracle needs,
+    since generated dependency crates are signature-only anyway.  The
+    per-body semantics match :func:`validate_body` (+ :func:`span_problems`
+    when ``check_spans`` is set).
+    """
+    problems: Dict[str, List[str]] = {}
+    bodies = lowered.local_bodies() if local_only else list(lowered.bodies.values())
+    for body in bodies:
+        found = validate_body(body)
+        if check_spans:
+            found = found + span_problems(body)
+        if found:
+            problems[body.fn_name] = found
     return problems
 
 

@@ -614,6 +614,46 @@ class AnalysisSession:
         out["stats"] = self.store.stats.to_dict()
         return out
 
+    def snapshot(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        max_variables_per_function: Optional[int] = None,
+    ) -> dict:
+        """A canonical, cache-independent picture of the whole workspace.
+
+        Covers every local function's analyze record plus both slice
+        directions for its (first ``max_variables_per_function``, sorted)
+        variables, with all volatile bookkeeping (``cache``/``stats``
+        labels, hit counters) stripped.  Two sessions over the same sources
+        must produce byte-identical JSON for this structure whether they
+        were served cold or warm — the differential property the fuzzing
+        subsystem's cache oracle checks, and a convenient equality witness
+        for tests.
+        """
+        config = config or MODULAR
+        out: Dict[str, dict] = {}
+        for fn_name in self.function_names():
+            analyze = self.analyze(function=fn_name, config=config)
+            entry: dict = {
+                "dependency_sizes": analyze["functions"][fn_name]["dependency_sizes"],
+                "slices": {},
+            }
+            variables = sorted(self.variables_of(fn_name))
+            if max_variables_per_function is not None:
+                variables = variables[:max_variables_per_function]
+            for variable in variables:
+                slices = {}
+                for direction in ("backward", "forward"):
+                    response = self.slice(fn_name, variable, direction, config=config)
+                    slices[direction] = {
+                        "size": response["size"],
+                        "lines": response["lines"],
+                        "spans": response["spans"],
+                    }
+                entry["slices"][variable] = slices
+            out[fn_name] = entry
+        return {"condition": condition_name(config), "functions": out}
+
     def stats(self) -> dict:
         """Session/store/counter snapshot, including the last invalidation plan."""
         return {

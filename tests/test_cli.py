@@ -201,7 +201,7 @@ def test_experiment_command_small_scale():
 
 
 ALL_SUBCOMMANDS = [
-    "mir", "analyze", "slice", "focus", "stats", "ifc", "corpus",
+    "mir", "analyze", "slice", "focus", "stats", "ifc", "fuzz", "corpus",
     "experiment", "serve", "workspace", "version", "query",
 ]
 

@@ -1,0 +1,183 @@
+"""End-to-end CLI coverage for `repro fuzz` and its satellites."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.campaign import CampaignConfig, run_campaign
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Campaign mode
+# ---------------------------------------------------------------------------
+
+
+def test_fuzz_campaign_all_oracles_pass(tmp_path):
+    code, output = run_cli(
+        "fuzz", "--seed", "0", "--count", "4", "--report-dir", str(tmp_path)
+    )
+    assert code == 0
+    assert "fuzz campaign: 4 programs" in output
+    for oracle in ("validate", "engine_equivalence", "cache_equality",
+                   "noninterference", "focus_agreement"):
+        assert oracle in output
+    report = json.loads((tmp_path / "fuzz_campaign.json").read_text())
+    assert report["generated"] == 4
+    assert report["failures"] == []
+    assert report["feature_histogram"]
+
+
+def test_fuzz_campaign_json_output(tmp_path):
+    code, output = run_cli(
+        "fuzz", "--seed", "0", "--count", "2", "--report-dir", str(tmp_path),
+        "--json",
+    )
+    assert code == 0
+    data = json.loads(output)
+    assert data["kind"] == "repro-fuzz-campaign"
+    assert data["oracle_counts"]["validate"]["pass"] == 2
+
+
+def test_fuzz_report_dir_is_created_idempotently(tmp_path):
+    nested = tmp_path / "a" / "b" / "reports"
+    for _ in range(2):  # second run re-writes into the existing directory
+        code, _ = run_cli(
+            "fuzz", "--seed", "0", "--count", "1", "--report-dir", str(nested)
+        )
+        assert code == 0
+    assert (nested / "fuzz_campaign.json").exists()
+
+
+def test_fuzz_export_corpus_writes_mrs_files(tmp_path):
+    corpus_dir = tmp_path / "corpus"
+    code, _ = run_cli(
+        "fuzz", "--seed", "5", "--count", "3",
+        "--report-dir", str(tmp_path), "--export-corpus", str(corpus_dir),
+    )
+    assert code == 0
+    files = sorted(corpus_dir.glob("*.mrs"))
+    assert len(files) == 3
+    assert "crate fuzzed {" in files[0].read_text()
+
+
+def test_fuzz_usage_error_on_bad_positional():
+    code, output = run_cli("fuzz", "banana")
+    assert code == 2
+    assert "repro fuzz repro" in output
+
+
+# ---------------------------------------------------------------------------
+# Injected violations → shrunk artifact → replay
+# ---------------------------------------------------------------------------
+
+
+def test_injected_violation_is_shrunk_and_replayable(tmp_path):
+    code, output = run_cli(
+        "fuzz", "--seed", "0", "--count", "2", "--inject", "while_loop",
+        "--report-dir", str(tmp_path),
+    )
+    assert code == 1
+    assert "injected:while_loop" in output
+    artifacts = sorted(tmp_path.glob("fuzz_repro_seed*_injected_while_loop.json"))
+    assert len(artifacts) == 2
+
+    artifact = json.loads(artifacts[0].read_text())
+    assert artifact["kind"] == "repro-fuzz-artifact"
+    assert artifact["reduction"]["reduced_loc"] < artifact["reduction"]["original_loc"]
+
+    replay_code, replay_output = run_cli("fuzz", "repro", str(artifacts[0]))
+    assert replay_code == 0
+    assert "reproduced as recorded" in replay_output
+    assert "while" in replay_output  # the shrunk source is printed
+
+
+def test_replay_of_fixed_artifact_exits_nonzero(tmp_path):
+    path = tmp_path / "artifact.json"
+    path.write_text(json.dumps({
+        "kind": "repro-fuzz-artifact",
+        "version": 1,
+        "seed": 0,
+        "crate_name": "main",
+        "oracle": "injected:while_loop",
+        "detail": "injected_while_loop: gone",
+        "source": "fn f(a: u32) -> u32 { a + 1 }\n",
+    }))
+    code, output = run_cli("fuzz", "repro", str(path))
+    assert code == 1
+    assert "did NOT reproduce" in output
+
+
+def test_replay_rejects_non_artifact_files(tmp_path):
+    path = tmp_path / "not_artifact.json"
+    path.write_text(json.dumps({"kind": "something-else"}))
+    code, output = run_cli("fuzz", "repro", str(path))
+    assert code == 2
+    assert "not a repro fuzz artifact" in output
+
+
+# ---------------------------------------------------------------------------
+# `repro stats --campaign` (per-campaign aggregates)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def campaign_report(tmp_path):
+    config = CampaignConfig(seed=0, count=3, report_dir=str(tmp_path))
+    report = run_campaign(config)
+    return report.report_path
+
+
+def test_stats_campaign_renders_feature_histogram(campaign_report):
+    code, output = run_cli("stats", "--campaign", campaign_report)
+    assert code == 0
+    assert "feature coverage over 3 generated programs" in output
+    assert "entry" in output
+    assert "oracle battery:" in output
+
+
+def test_stats_campaign_json(campaign_report):
+    code, output = run_cli("stats", "--campaign", campaign_report, "--json")
+    assert code == 0
+    data = json.loads(output)
+    assert data["generated"] == 3
+    assert data["feature_histogram"]["entry"] >= 3
+
+
+def test_stats_without_file_or_campaign_is_a_clean_error():
+    code, output = run_cli("stats")
+    assert code == 2
+    assert "--campaign" in output
+
+
+# ---------------------------------------------------------------------------
+# Error surfacing (line:column + excerpt) for broken inputs
+# ---------------------------------------------------------------------------
+
+
+def test_parse_error_shows_position_and_excerpt(tmp_path):
+    bad = tmp_path / "bad.mrs"
+    bad.write_text("fn f(a: u32) -> u32 {\n    let x = ;\n    x\n}\n")
+    code, output = run_cli("analyze", str(bad))
+    assert code == 2
+    assert f"{bad}:2:" in output        # line:column of the offending token
+    assert "let x = ;" in output        # the source excerpt
+    assert "^" in output                # the caret underline
+
+
+def test_type_error_shows_position_and_excerpt(tmp_path):
+    bad = tmp_path / "bad_types.mrs"
+    bad.write_text("fn f(a: u32) -> u32 {\n    a && true\n}\n")
+    code, output = run_cli("analyze", str(bad))
+    assert code == 2
+    assert f"{bad}:2:" in output
+    assert "a && true" in output

@@ -1,0 +1,98 @@
+"""Shrinker properties: verdict preservation, monotonicity, idempotence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracles import run_battery
+from repro.fuzz.reduce import remove_lines, removable_units, shrink
+
+
+def _still_fails(oracle: str, kind: str, crate_name: str = "fuzzed", seed: int = 0):
+    def predicate(candidate: str) -> bool:
+        verdicts = run_battery(candidate, crate_name, oracles=[oracle], seed=seed)
+        return any(
+            not v.ok and v.oracle == oracle and v.kind() == kind for v in verdicts
+        )
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Unit collection and line surgery
+# ---------------------------------------------------------------------------
+
+
+def test_removable_units_cover_functions_items_and_statements():
+    program = generate_program(0)
+    units = removable_units(program.source, program.crate_name)
+    kinds = {kind for _, _, kind in units}
+    assert {"fn", "stmt", "struct", "extern"} <= kinds
+    # Functions are offered before statements (largest-chunk-first strategy).
+    first_stmt = next(i for i, unit in enumerate(units) if unit[2] == "stmt")
+    last_fn = max(i for i, unit in enumerate(units) if unit[2] == "fn")
+    assert last_fn < first_stmt
+
+
+def test_removable_units_is_empty_for_unparsable_source():
+    assert removable_units("fn f( {", "main") == []
+
+
+def test_remove_lines_is_inclusive_and_preserves_the_rest():
+    source = "a\nb\nc\nd\n"
+    assert remove_lines(source, 2, 3) == "a\nd\n"
+    assert remove_lines(source, 1, 4) == "\n"
+
+
+# ---------------------------------------------------------------------------
+# Shrinking injected failures
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_shrink_preserves_verdict_and_is_monotone(seed):
+    program = generate_program(seed)
+    predicate = _still_fails("injected:while_loop", "injected_while_loop", seed=seed)
+    assert predicate(program.source), "sweep program unexpectedly loop-free"
+
+    result = shrink(program.source, predicate, crate_name=program.crate_name)
+    # Verdict preserved on the reduced program.
+    assert predicate(result.reduced)
+    # Monotone: the reduction never grows the program.
+    assert result.reduced_loc <= result.original_loc
+    # And it actually helps on generated programs of this size.
+    assert result.reduced_loc < result.original_loc
+    # The reduced program still contains the failure trigger.
+    assert "while" in result.reduced
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_shrink_is_idempotent(seed):
+    program = generate_program(seed)
+    predicate = _still_fails("injected:while_loop", "injected_while_loop", seed=seed)
+    first = shrink(program.source, predicate, crate_name=program.crate_name)
+    second = shrink(first.reduced, predicate, crate_name=program.crate_name)
+    assert second.reduced == first.reduced
+
+
+def test_shrink_rejects_candidates_with_a_different_failure():
+    """Reduction must not drift into unrelated breakage: a candidate that no
+    longer parses fails with a different signature and is rejected, so the
+    reduced program still typechecks."""
+    from repro.fuzz.oracles import prepare
+
+    program = generate_program(1)
+    predicate = _still_fails("injected:while_loop", "injected_while_loop", seed=1)
+    result = shrink(program.source, predicate, crate_name=program.crate_name)
+    prepare(result.reduced, program.crate_name)  # raises if invalid
+
+
+def test_shrink_respects_the_probe_budget():
+    program = generate_program(2)
+    predicate = _still_fails("injected:while_loop", "injected_while_loop", seed=2)
+    result = shrink(
+        program.source, predicate, crate_name=program.crate_name, max_probes=5
+    )
+    assert result.probes <= 5
+    assert predicate(result.reduced)
