@@ -20,6 +20,14 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 
 
+def latency_row(samples_seconds, fractions=(0.50, 0.95, 0.99)) -> dict:
+    """Percentile row for a benchmark table; delegates to the one shared
+    implementation in :func:`repro.eval.stats.latency_summary_ms`."""
+    from repro.eval.stats import latency_summary_ms
+
+    return latency_summary_ms(samples_seconds, fractions=fractions)
+
+
 def write_report(report_dir: Path, name: str, text: str) -> Path:
     """Persist a rendered table/figure and echo it to stdout.
 

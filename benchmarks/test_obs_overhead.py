@@ -1,0 +1,92 @@
+"""Observability overhead gate: instrumentation must be ~free when idle.
+
+The tracing layer is designed around a cheap disabled path (one context-var
+read per ``span()``, one module-attribute read per metric mutation).  This
+benchmark enforces that design with the Figure-2-style workload — fresh
+engines per round, per-function modular analysis over the corpus — comparing
+the default state (metrics on, no active trace: what every untraced request
+pays) against the observability kill switch (``set_enabled(False)``).
+
+Gate: default-state time ≤ 1.05× the disabled time (best-of-rounds on both
+sides), with a small absolute-slack fallback so sub-second workloads cannot
+flap the ratio on scheduler noise.  The measured numbers are recorded in
+``benchmarks/reports/obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import write_json_report
+
+from repro.core.config import MODULAR
+from repro.core.engine import FlowEngine
+from repro.eval.corpus import generate_corpus
+from repro.lang.parser import parse_program
+from repro.lang.typeck import check_program
+from repro.obs import is_enabled, set_enabled
+
+ROUNDS = 6
+MAX_RATIO = 1.05
+ABS_SLACK_SECONDS = 0.10  # forgives sub-tenth-of-a-second jitter outright
+
+
+def _workload(corpus) -> int:
+    """Parse → typecheck → lower → per-function fixpoint, fresh state."""
+    functions = 0
+    for crate in corpus:
+        program = parse_program(crate.source, local_crate=crate.name)
+        checked = check_program(program)
+        engine = FlowEngine(checked, config=MODULAR)
+        for name in engine.local_function_names():
+            engine.analyze_function(name)
+            functions += 1
+    return functions
+
+
+def _best_of(corpus, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _workload(corpus)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_untraced_overhead_within_five_percent(report_dir):
+    corpus = generate_corpus(scale=0.15)
+    assert is_enabled(), "the suite must start in the default-on state"
+    _workload(corpus)  # one untimed warm-up round for both states
+
+    # Interleave states across rounds so drift (thermal, page cache) hits
+    # both sides equally; best-of keeps the least-disturbed round per state.
+    enabled_best = float("inf")
+    disabled_best = float("inf")
+    try:
+        for _ in range(ROUNDS):
+            set_enabled(True)
+            enabled_best = min(enabled_best, _best_of(corpus, 1))
+            set_enabled(False)
+            disabled_best = min(disabled_best, _best_of(corpus, 1))
+    finally:
+        set_enabled(True)
+
+    ratio = enabled_best / disabled_best if disabled_best > 0 else 1.0
+    report = {
+        "workload": "fig2-style modular analysis, fresh engines per round",
+        "rounds": ROUNDS,
+        "enabled_best_seconds": round(enabled_best, 4),
+        "disabled_best_seconds": round(disabled_best, 4),
+        "ratio": round(ratio, 4),
+        "max_ratio": MAX_RATIO,
+        "abs_slack_seconds": ABS_SLACK_SECONDS,
+    }
+    path = write_json_report(report_dir, "obs_overhead", report)
+    print(f"[obs overhead: {ratio:.3f}x; report at {path}]")
+
+    assert (
+        ratio <= MAX_RATIO or enabled_best - disabled_best <= ABS_SLACK_SECONDS
+    ), (
+        f"idle observability overhead too high: enabled {enabled_best:.3f}s vs "
+        f"disabled {disabled_best:.3f}s ({ratio:.3f}x > {MAX_RATIO}x)"
+    )

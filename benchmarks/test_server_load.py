@@ -56,6 +56,11 @@ def test_server_load_swarm(corpus, report_dir):
         assert run.consistent, f"{run.clients}-client swarm disagreed internally"
     # ...and across swarm sizes the answers match the single-client baseline.
     assert report.cross_run_consistent, "16-client results differ from single-client"
+    # Server-side telemetry reconciles with the clients: the server counted
+    # exactly the requests the swarm sent, method for method.
+    assert report.telemetry_consistent, [run.server for run in report.runs]
+    for run in report.runs:
+        assert run.server["request_ms"], "no server-side request latency recorded"
 
 
 def test_server_restart_answers_first_query_warm(corpus, tmp_path):

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.borrowck.loans import LoanAnalysis, _refs_in_type
 from repro.lang.ast import FnSig
+from repro.obs import stage as obs_stage
 from repro.lang.types import RefType, Type
 from repro.mir.ir import Body, Place, Ref, Rvalue, StatementKind, Statement
 
@@ -174,7 +175,11 @@ def make_oracle(
     """
     if ref_blind:
         return TypeBlindAliasOracle(body=body, signatures=signatures)
-    loans = LoanAnalysis(body=body, signatures=signatures)
-    if place_domain is not None:
-        loans.domain = place_domain
-    return PreciseAliasOracle(body=body, loans=loans.run())
+    with obs_stage("borrowck", fn=body.fn_name) as sp:
+        loans = LoanAnalysis(body=body, signatures=signatures)
+        if place_domain is not None:
+            loans.domain = place_domain
+        oracle = PreciseAliasOracle(body=body, loans=loans.run())
+        if sp is not None:
+            sp.set(places=len(loans.domain))
+        return oracle

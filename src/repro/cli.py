@@ -230,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="workspace persistence root: sessions are restored from "
                                 "it on start and saved to it on shutdown, so a restarted "
                                 "server answers its first query warm")
+    serve_cmd.add_argument("--log-level", default="quiet",
+                           choices=["quiet", "info", "debug"],
+                           help="socket mode: access-log verbosity (one structured "
+                                "line per request to stderr; default quiet)")
+    serve_cmd.add_argument("--trace-dir",
+                           help="socket mode: write one rotated Chrome-trace JSON "
+                                "file per request into this directory")
     serve_cmd.add_argument("--workspace", default="default",
                            help="name of the (persistent) workspace to serve")
 
@@ -253,6 +260,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "warm cache serving the first query)")
     ws_list = wsub.add_parser("list", help="list the workspaces saved under a directory")
     ws_list.add_argument("--persist-dir", required=True)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run a traced analysis of a file and print the span tree",
+    )
+    trace_cmd.add_argument("file")
+    trace_cmd.add_argument("--function", help="only this function (default: all)")
+    trace_cmd.add_argument("--local-crate", default="main")
+    trace_cmd.add_argument("--json", action="store_true",
+                           help="print the span tree as JSON instead of text")
+    trace_cmd.add_argument("--chrome", metavar="PATH",
+                           help="also write flamegraph-ready Chrome trace-event "
+                                "JSON (chrome://tracing / Perfetto) to PATH")
+    _add_condition_flags(trace_cmd)
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="fetch the metrics snapshot from a live `repro serve --port` server",
+    )
+    metrics_cmd.add_argument("--host", default="127.0.0.1")
+    metrics_cmd.add_argument("--port", type=int, required=True)
+    metrics_cmd.add_argument("--prometheus", action="store_true",
+                             help="Prometheus text exposition instead of JSON")
 
     sub.add_parser("version", help="print the package version")
 
@@ -566,6 +596,16 @@ def _serve_socket(args: argparse.Namespace, out) -> int:
 
     from repro.service.server import ThreadedAnalysisServer
 
+    if args.log_level != "quiet":
+        import logging
+
+        access = logging.getLogger("repro.access")
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access.addHandler(handler)
+        access.setLevel(logging.INFO if args.log_level == "info" else logging.DEBUG)
+        access.propagate = False
+
     server = ThreadedAnalysisServer(
         host=args.host,
         port=args.port,
@@ -574,6 +614,8 @@ def _serve_socket(args: argparse.Namespace, out) -> int:
         max_entries=args.max_entries,
         local_crate=args.local_crate,
         default_workspace=args.workspace,
+        log_level=args.log_level,
+        trace_dir=args.trace_dir,
     )
     if args.file is not None:
         handle = server.registry.handle(args.workspace)
@@ -615,6 +657,13 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                     "(both dialects are always multiplexed in socket mode)"
                 )
         return _serve_socket(args, out)
+
+    for flag, value in (("--log-level", args.log_level if args.log_level != "quiet" else None),
+                        ("--trace-dir", args.trace_dir)):
+        if value:
+            raise ReproError(
+                f"{flag} is a socket-mode flag and has no effect without --port"
+            )
 
     if args.persist_dir is not None:
         session = open_or_create_workspace(
@@ -737,6 +786,73 @@ def cmd_query(args: argparse.Namespace, out) -> int:
     return 1 if failed else 0
 
 
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    """Traced one-shot analysis: span tree to stdout, optional Chrome export."""
+    import json
+
+    from repro.obs import render_span_tree, start_trace
+    from repro.obs.export import write_chrome_trace
+    from repro.service.session import AnalysisSession
+
+    session = AnalysisSession(local_crate=args.local_crate)
+    config = _config_from_args(args)
+    with start_trace("analyze") as trace:
+        session.open_unit("main", _read_source(args.file))
+        session.analyze(function=args.function, config=config)
+    if trace is None:
+        out.write("error: observability is disabled in this process\n")
+        return 2
+    tree = trace.to_dict()
+    if args.json:
+        out.write(json.dumps(tree, sort_keys=True) + "\n")
+    else:
+        out.write(f"trace {trace.trace_id}\n")
+        out.write(render_span_tree(tree["root"]) + "\n")
+        out.write(
+            "{} spans, {:.3f}ms total\n".format(
+                len(trace.spans()), trace.root.duration_ms
+            )
+        )
+    if args.chrome:
+        path = write_chrome_trace(args.chrome, trace)
+        out.write(f"chrome trace written to {path}\n")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Scrape a live socket server's ``metrics`` method."""
+    import json
+    import socket as socket_module
+
+    from repro.obs.export import render_prometheus
+
+    try:
+        conn = socket_module.create_connection((args.host, args.port), timeout=10.0)
+    except OSError as error:
+        raise ReproError(
+            f"cannot connect to {args.host}:{args.port}: {error}"
+        ) from error
+    with conn:
+        rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+        wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+        hello = json.loads(rfile.readline())
+        if "hello" not in hello:
+            out.write(f"error: unexpected greeting: {hello}\n")
+            return 2
+        wfile.write(json.dumps({"id": 1, "method": "metrics"}) + "\n")
+        wfile.flush()
+        response = json.loads(rfile.readline())
+    if not response.get("ok"):
+        out.write(f"error: {response.get('error')}\n")
+        return 2
+    result = response["result"]
+    if args.prometheus:
+        out.write(render_prometheus(result))
+    else:
+        out.write(json.dumps(result, sort_keys=True, indent=2) + "\n")
+    return 0
+
+
 _HANDLERS = {
     "mir": cmd_mir,
     "analyze": cmd_analyze,
@@ -748,6 +864,8 @@ _HANDLERS = {
     "corpus": cmd_corpus,
     "experiment": cmd_experiment,
     "serve": cmd_serve,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "workspace": cmd_workspace,
     "version": cmd_version,
     "query": cmd_query,

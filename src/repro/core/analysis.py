@@ -30,6 +30,8 @@ from repro.dataflow.control_deps import compute_control_deps
 from repro.dataflow.engine import FixpointResult, ForwardAnalysis
 from repro.lang.ast import FnSig
 from repro.mir.indices import BodyIndex, index_body
+from repro.obs import metrics as obs_metrics
+from repro.obs import stage as obs_stage
 from repro.mir.ir import Body, Location, Place, RETURN_LOCAL, StatementKind, Statement, CallTerminator
 
 
@@ -261,6 +263,26 @@ class FunctionFlowAnalysis:
         self.provider = provider or ModularSummaryProvider()
 
     def run(self) -> FunctionFlowResult:
+        with obs_stage("fixpoint", fn=self.body.fn_name, engine=self.config.engine) as sp:
+            result = self._run()
+        obs_metrics.get_registry().histogram(
+            "fixpoint_iterations", buckets=obs_metrics.COUNT_BUCKETS,
+            engine=self.config.engine,
+        ).observe(result.fixpoint.iterations)
+        if sp is not None:
+            sp.set(iterations=result.fixpoint.iterations)
+            theta = result.exit_theta
+            if isinstance(theta, IndexedDependencyContext):
+                places = len(theta.domain.places)
+                locations = len(theta.domain.locations)
+                sp.set(
+                    places=places,
+                    locations=locations,
+                    density=round(theta.matrix.density(places, locations), 6),
+                )
+        return result
+
+    def _run(self) -> FunctionFlowResult:
         control_deps = compute_control_deps(self.body)
         if self.config.engine == "object":
             oracle = make_oracle(self.body, self.signatures, ref_blind=self.config.ref_blind)

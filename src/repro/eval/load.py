@@ -19,8 +19,14 @@ Reported per swarm size (1/4/16 clients by default):
   assertion that concurrency never changes what a query returns.
 
 Canonicalisation strips the fields that legitimately vary with cache state
-and timing (``cache``, ``stats``, ``cache_hits``, ...), leaving exactly the
-semantic payload (dependency sizes, slices, spans).
+and timing (``cache``, ``stats``, ``cache_hits``, ``trace_id``, ...), leaving
+exactly the semantic payload (dependency sizes, slices, spans).
+
+Each swarm is additionally bracketed by server-side metrics snapshots (the
+``metrics`` protocol method), so the report breaks latency down by pipeline
+stage as the *server* measured it and reconciles the server's per-method
+request counters against what the clients sent — the two views must agree
+exactly, request for request.
 """
 
 from __future__ import annotations
@@ -33,13 +39,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.eval.perf import percentile
+from repro.eval.stats import latency_summary_ms, percentile
+from repro.obs import parse_series, snapshot_delta
 from repro.service.server import ThreadedAnalysisServer
 
 # Response fields that vary with cache temperature, timing, or server-side
 # counters — everything else must be identical across clients and runs.
+# ``trace_id`` is fresh per request and ``trace`` carries timings, so both
+# are volatile by construction.
 VOLATILE_KEYS = frozenset(
-    {"cache", "stats", "cache_hits", "cache_misses", "seconds", "requests_handled"}
+    {
+        "cache",
+        "stats",
+        "cache_hits",
+        "cache_misses",
+        "seconds",
+        "requests_handled",
+        "trace",
+        "trace_id",
+    }
 )
 
 
@@ -120,6 +138,9 @@ class ClientRun:
     latencies: List[float] = field(default_factory=list)
     digests: List[str] = field(default_factory=list)
     errors: int = 0
+    # Requests sent, by method (including mux-level ``workspace`` switches) —
+    # reconciled against the server's own counters after the swarm.
+    method_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class SwarmClient:
@@ -138,6 +159,9 @@ class SwarmClient:
             rfile.readline()  # the hello line
 
             def request(payload: dict) -> dict:
+                method = str(payload.get("method"))
+                counts = self.run.method_counts
+                counts[method] = counts.get(method, 0) + 1
                 wfile.write(json.dumps(payload, sort_keys=True) + "\n")
                 wfile.flush()
                 line = rfile.readline()
@@ -178,6 +202,9 @@ class LoadRunResult:
     latencies: List[float]
     digests: List[str]  # per plan position, after cross-client agreement
     consistent: bool  # every client produced the same digest sequence
+    # Server-side telemetry for the swarm window (metrics-registry delta):
+    # per-stage latency breakdown plus the request-count reconciliation.
+    server: Optional[dict] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -188,6 +215,11 @@ class LoadRunResult:
     def latency_ms(self, fraction: float) -> float:
         return percentile(self.latencies, fraction) * 1e3
 
+    @property
+    def counts_agree(self) -> bool:
+        """Did the server count exactly the requests the clients sent?"""
+        return bool(self.server and self.server.get("counts_agree"))
+
     def to_json_dict(self) -> dict:
         return {
             "clients": self.clients,
@@ -195,38 +227,112 @@ class LoadRunResult:
             "errors": self.errors,
             "seconds": round(self.seconds, 4),
             "throughput_rps": round(self.throughput_rps, 1),
-            "latency_ms": {
-                "p50": round(self.latency_ms(0.50), 4),
-                "p95": round(self.latency_ms(0.95), 4),
-                "p99": round(self.latency_ms(0.99), 4),
-            },
+            "latency_ms": latency_summary_ms(self.latencies),
             "consistent": self.consistent,
             "plan_digest": hashlib.sha256(
                 "".join(self.digests).encode("utf-8")
             ).hexdigest()[:16],
+            "server": self.server,
         }
+
+
+def fetch_server_metrics(address: Tuple[str, int]) -> dict:
+    """One-shot ``metrics`` request against a live server; returns the result."""
+    sock = socket.create_connection(address)
+    try:
+        rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+        rfile.readline()  # the hello line
+        wfile.write(json.dumps({"id": "metrics", "method": "metrics"}) + "\n")
+        wfile.flush()
+        response = json.loads(rfile.readline())
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    if not response.get("ok"):
+        raise RuntimeError(f"metrics request failed: {response.get('error')}")
+    return response["result"]
+
+
+def server_breakdown(delta: dict, client_counts: Dict[str, int]) -> dict:
+    """Digest one swarm window's metrics delta into the load-report shape.
+
+    ``requests_by_method`` merges the NDJSON dialect counters with the
+    mux-level ``workspace`` counter so it is directly comparable to what the
+    swarm clients sent.  The harness's own ``metrics`` probes are excluded:
+    the *before* probe's counter increment lands after its snapshot is taken,
+    so exactly one such request falls inside every window by construction.
+    """
+    requests_by_method: Dict[str, int] = {}
+    server_errors = 0
+    for series, value in delta.get("counters", {}).items():
+        name, labels = parse_series(series)
+        if name != "requests_total" or labels.get("protocol") not in ("ndjson", "mux"):
+            continue
+        method = labels.get("method", "?")
+        if method == "metrics":
+            continue
+        requests_by_method[method] = requests_by_method.get(method, 0) + int(value)
+        if labels.get("status") == "error":
+            server_errors += int(value)
+
+    stage_ms: Dict[str, dict] = {}
+    request_ms: Dict[str, dict] = {}
+    for series, hist in delta.get("histograms", {}).items():
+        name, labels = parse_series(series)
+        row = {
+            "count": hist["count"],
+            "total_ms": round(hist["sum"] * 1e3, 3),
+            "mean_ms": round(hist["mean"] * 1e3, 4),
+        }
+        if name == "stage_seconds":
+            stage_ms[labels.get("stage", "?")] = row
+        elif name == "request_seconds" and labels.get("method") != "metrics":
+            request_ms[labels.get("method", "?")] = row
+
+    return {
+        "requests_by_method": requests_by_method,
+        "client_requests_by_method": dict(client_counts),
+        "counts_agree": requests_by_method == client_counts,
+        "errors": server_errors,
+        "stage_ms": stage_ms,
+        "request_ms": request_ms,
+    }
 
 
 def run_swarm(
     server: ThreadedAnalysisServer, plan: Sequence[PlannedQuery], clients: int
 ) -> LoadRunResult:
-    """Run ``clients`` concurrent plan walkers against a live server."""
+    """Run ``clients`` concurrent plan walkers against a live server.
+
+    Brackets the swarm with server-side metrics snapshots so the result
+    carries the per-stage latency breakdown for exactly this window, and the
+    server's request counters can be reconciled against what the clients sent.
+    """
     workers = [SwarmClient(server.address, plan, i) for i in range(clients)]
     threads = [
         threading.Thread(target=worker, name=f"swarm-{worker.run.client_id}")
         for worker in workers
     ]
+    before = fetch_server_metrics(server.address)
     start = time.perf_counter()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join()
     seconds = time.perf_counter() - start
+    after = fetch_server_metrics(server.address)
 
     runs = [worker.run for worker in workers]
     latencies = [lat for run in runs for lat in run.latencies]
     digests = runs[0].digests if runs else []
     consistent = all(run.digests == digests for run in runs)
+    client_counts: Dict[str, int] = {}
+    for run in runs:
+        for method, count in run.method_counts.items():
+            client_counts[method] = client_counts.get(method, 0) + count
     return LoadRunResult(
         clients=clients,
         requests=sum(len(run.latencies) for run in runs),
@@ -235,6 +341,7 @@ def run_swarm(
         latencies=latencies,
         digests=list(digests),
         consistent=consistent,
+        server=server_breakdown(snapshot_delta(before, after), client_counts),
     )
 
 
@@ -247,12 +354,18 @@ class LoadReport:
     runs: List[LoadRunResult]
     cross_run_consistent: bool  # every swarm size agreed on every answer
 
+    @property
+    def telemetry_consistent(self) -> bool:
+        """Server request counters matched client-side counts in every swarm."""
+        return all(run.counts_agree for run in self.runs)
+
     def to_json_dict(self) -> dict:
         return {
             "plan_size": self.plan_size,
             "workspaces": self.workspaces,
             "runs": [run.to_json_dict() for run in self.runs],
             "cross_run_consistent": self.cross_run_consistent,
+            "telemetry_consistent": self.telemetry_consistent,
         }
 
 
@@ -338,4 +451,23 @@ def render_load_report(report: LoadReport) -> str:
         "  cross-swarm results identical to single-client baseline: "
         + str(report.cross_run_consistent).lower()
     )
+    lines.append(
+        "  server request counters match client-side counts: "
+        + str(report.telemetry_consistent).lower()
+    )
+    last = report.runs[-1] if report.runs else None
+    if last is not None and last.server:
+        lines.append("")
+        lines.append(
+            f"  server-side stage breakdown ({last.clients}-client swarm):"
+        )
+        lines.append("    stage           count   total ms    mean ms")
+        for stage, row in sorted(last.server["stage_ms"].items()):
+            lines.append(
+                f"    {stage:<14} {row['count']:6d}  {row['total_ms']:9.1f}  "
+                f"{row['mean_ms']:9.3f}"
+            )
+        counts = last.server["requests_by_method"]
+        rendered = ", ".join(f"{m}={counts[m]}" for m in sorted(counts))
+        lines.append(f"    requests (server-counted): {rendered}")
     return "\n".join(lines)

@@ -25,6 +25,10 @@ from repro.core.config import AnalysisConfig, MODULAR, WHOLE_PROGRAM
 from repro.core.engine import FlowEngine
 from repro.eval.corpus import GeneratedCrate
 from repro.eval.experiments import ConditionRun, ExperimentData
+
+# Percentile math lives in repro.eval.stats; the re-export keeps the long-time
+# ``from repro.eval.perf import percentile`` import path working.
+from repro.eval.stats import latency_summary_ms, percentile  # noqa: F401
 from repro.lang.parser import parse_program
 
 
@@ -422,15 +426,6 @@ def render_warm_cold_report(comparisons: Sequence[WarmColdComparison]) -> str:
     return "\n".join(lines)
 
 
-def percentile(samples: Sequence[float], fraction: float) -> float:
-    """The ``fraction``-quantile of ``samples`` (nearest-rank, 0 ≤ f ≤ 1)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[rank]
-
-
 @dataclass
 class FocusLatency:
     """Cold vs warm focus-query latency over a corpus of cursor positions.
@@ -465,16 +460,14 @@ class FocusLatency:
         return {
             "condition": self.condition,
             "queries": self.queries,
-            "cold_ms": {
-                "p50": round(percentile(self.cold_seconds, 0.50) * 1e3, 4),
-                "p95": round(percentile(self.cold_seconds, 0.95) * 1e3, 4),
-                "total": round(self.cold_total * 1e3, 2),
-            },
-            "warm_ms": {
-                "p50": round(percentile(self.warm_seconds, 0.50) * 1e3, 4),
-                "p95": round(percentile(self.warm_seconds, 0.95) * 1e3, 4),
-                "total": round(self.warm_total * 1e3, 2),
-            },
+            "cold_ms": dict(
+                latency_summary_ms(self.cold_seconds, fractions=(0.50, 0.95)),
+                total=round(self.cold_total * 1e3, 2),
+            ),
+            "warm_ms": dict(
+                latency_summary_ms(self.warm_seconds, fractions=(0.50, 0.95)),
+                total=round(self.warm_total * 1e3, 2),
+            ),
             "speedup": round(self.speedup, 1),
         }
 

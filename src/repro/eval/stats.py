@@ -79,7 +79,8 @@ class DiffSummary:
         }
 
 
-def _median(values: Sequence[float]) -> float:
+def median(values: Sequence[float]) -> float:
+    """The interpolated median of ``values`` (0.0 for an empty sequence)."""
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -87,6 +88,41 @@ def _median(values: Sequence[float]) -> float:
     if len(ordered) % 2 == 1:
         return ordered[mid]
     return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+_median = median  # backwards-compatible private alias
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile of ``samples`` (nearest-rank, 0 ≤ f ≤ 1).
+
+    The single latency-percentile implementation shared by the perf harness
+    (:mod:`repro.eval.perf`), the load harness (:mod:`repro.eval.load`) and
+    the benchmark suite.  Nearest-rank keeps every reported value an actual
+    observed sample, which matters when tails are sparse.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def latency_summary_ms(
+    samples_seconds: Sequence[float],
+    fractions: Sequence[float] = (0.50, 0.95, 0.99),
+    digits: int = 4,
+) -> Dict[str, float]:
+    """Latency percentiles in milliseconds, keyed ``p50``/``p95``/... .
+
+    Takes samples in *seconds* (what ``time.perf_counter`` differences give)
+    and reports milliseconds, the unit every harness table prints.
+    """
+    ordered = sorted(samples_seconds)
+    return {
+        f"p{int(round(fraction * 100))}": round(percentile(ordered, fraction) * 1e3, digits)
+        for fraction in fractions
+    }
 
 
 def summarize_differences(

@@ -13,7 +13,8 @@ Methods:
 * ``textDocument/didOpen`` / ``didChange`` / ``didClose`` — full-text
   document sync onto :class:`~repro.service.session.AnalysisSession` units,
 * ``repro/focus`` — cursor focus query; returns LSP-style ranges,
-* ``repro/stats`` — cache/session counters.
+* ``repro/stats`` — cache/session counters,
+* ``repro/metrics`` — the process-wide metrics registry snapshot.
 
 Failures map to JSON-RPC error objects; application errors carry the typed
 service code (``unknown_function``, ``position_out_of_range``, ...) under
@@ -23,9 +24,11 @@ service code (``unknown_function``, ``position_out_of_range``, ...) under
 from __future__ import annotations
 
 import json
+import time
 from typing import IO, Any, Dict, Optional
 
 from repro.errors import QueryError, ReproError, Span
+from repro.obs import get_registry, new_trace_id, start_trace
 from repro.service.session import AnalysisSession
 from repro.version import __version__
 
@@ -72,7 +75,41 @@ class FocusServer:
         return self.handle(message)
 
     def handle(self, message: dict) -> Optional[dict]:
-        """Handle one message; notifications (no ``id``) return ``None``."""
+        """Handle one message; notifications (no ``id``) return ``None``.
+
+        Mirrors the NDJSON dialect's telemetry contract: responses carry a
+        ``trace_id`` (top-level, next to ``jsonrpc`` — our NDJSON framing
+        has no batching, so the extension is unambiguous), ``"trace": true``
+        on the message returns the span tree under ``trace``, and every
+        message lands in ``requests_total{protocol="jsonrpc"}``.
+        """
+        started = time.perf_counter()
+        trace_id = message.get("trace_id")
+        trace_id = str(trace_id) if trace_id else new_trace_id()
+        trace = None
+        if message.get("trace") is True:
+            with start_trace(str(message.get("method")), trace_id=trace_id) as trace:
+                response = self._dispatch(message)
+        else:
+            response = self._dispatch(message)
+        elapsed = time.perf_counter() - started
+        method = message.get("method")
+        method_label = method if isinstance(method, str) else "invalid"
+        registry = get_registry()
+        registry.histogram("request_seconds", method=method_label).observe(elapsed)
+        registry.counter(
+            "requests_total",
+            method=method_label,
+            protocol="jsonrpc",
+            status="error" if response is not None and "error" in response else "ok",
+        ).inc()
+        if response is not None:
+            response["trace_id"] = trace_id
+            if trace is not None:
+                response["trace"] = trace.to_dict()
+        return response
+
+    def _dispatch(self, message: dict) -> Optional[dict]:
         msg_id = message.get("id")
         is_notification = "id" not in message
         method = message.get("method")
@@ -234,6 +271,14 @@ class FocusServer:
     def _method_stats(self, params: dict) -> dict:
         return self.session.stats()
 
+    def _method_metrics(self, params: dict) -> dict:
+        snapshot = get_registry().snapshot()
+        snapshot["session"] = {
+            "counters": dict(self.session.counters),
+            "store": self.session.store.stats.to_dict(),
+        }
+        return snapshot
+
     _HANDLERS = {
         "initialize": _method_initialize,
         "initialized": _method_initialized,
@@ -244,6 +289,7 @@ class FocusServer:
         "textDocument/didClose": _method_did_close,
         "repro/focus": _method_focus,
         "repro/stats": _method_stats,
+        "repro/metrics": _method_metrics,
     }
 
 

@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.core.analysis import FunctionFlowResult
 from repro.core.theta import IndexedDependencyContext, arg_location, is_arg_location
 from repro.errors import QueryError, Span
+from repro.obs import stage as obs_stage
 from repro.focus.spans import (
     lines_of_spans,
     location_span,
@@ -164,6 +165,16 @@ class FocusTable:
         (location masks keyed by dependency index) and only converts to
         location/span objects when the table entries are materialised.
         """
+        with obs_stage("focus_table", fn=result.body.fn_name) as sp:
+            table = cls._build(result, fingerprint, condition)
+            if sp is not None:
+                sp.set(entries=len(table.entries))
+            return table
+
+    @classmethod
+    def _build(
+        cls, result: FunctionFlowResult, fingerprint: str = "", condition: str = ""
+    ) -> "FocusTable":
         body = result.body
         fixpoint = result.fixpoint
         exit_theta = result.exit_theta

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.obs import get_registry, snapshot_delta
 from repro.fuzz.generator import (
     GENERATOR_VERSION,
     GeneratedProgram,
@@ -125,6 +126,9 @@ class CampaignReport:
     total_loc: int = 0
     failures: List[CampaignFailure] = field(default_factory=list)
     report_path: Optional[str] = None
+    # Metrics-registry delta over the campaign window (stage_seconds,
+    # fixpoint_iterations, cache counters): where the fuzzing time went.
+    metrics: Optional[dict] = None
 
     @property
     def failed(self) -> int:
@@ -168,6 +172,7 @@ class CampaignReport:
             "feature_histogram": dict(sorted(self.feature_histogram.items())),
             "feature_programs": dict(sorted(self.feature_programs.items())),
             "failures": [failure.to_json_dict() for failure in self.failures],
+            "metrics": self.metrics,
         }
 
 
@@ -244,6 +249,7 @@ def run_campaign(config: CampaignConfig, on_progress=None) -> CampaignReport:
     generator_config = config.generator_config()
     report = CampaignReport(config=config)
     exported: List[GeneratedProgram] = []
+    metrics_before = get_registry().snapshot()
     start = time.perf_counter()
 
     for index in range(max(0, config.count)):
@@ -271,6 +277,7 @@ def run_campaign(config: CampaignConfig, on_progress=None) -> CampaignReport:
             on_progress(index + 1, report)
 
     report.elapsed_seconds = time.perf_counter() - start
+    report.metrics = snapshot_delta(metrics_before, get_registry().snapshot())
 
     if config.export_dir is not None:
         # Write exactly the programs this campaign ran (no regeneration; a

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple, Union
 from repro.errors import ParseError, Span
 from repro.lang import ast
 from repro.lang.lexer import tokenize
+from repro.obs import stage as obs_stage
 from repro.lang.tokens import Token, TokenKind
 from repro.lang.types import (
     BOOL,
@@ -555,7 +556,11 @@ class Parser:
 
 def parse_program(source: str, local_crate: str = "main") -> ast.Program:
     """Parse source text into a :class:`repro.lang.ast.Program`."""
-    return Parser(tokenize(source)).parse_program(local_crate=local_crate)
+    with obs_stage("parse") as sp:
+        program = Parser(tokenize(source)).parse_program(local_crate=local_crate)
+        if sp is not None:
+            sp.set(bytes=len(source), crates=len(program.crates))
+        return program
 
 
 def parse_crate(source: str, name: str = "main") -> ast.Crate:

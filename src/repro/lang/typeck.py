@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DiagnosticSink, Span, TypeCheckError
 from repro.lang import ast
+from repro.obs import stage as obs_stage
 from repro.lang.types import (
     BOOL,
     BoolType,
@@ -619,7 +620,11 @@ class TypeChecker:
 
 def check_program(program: ast.Program) -> CheckedProgram:
     """Type check ``program`` and return the checked form."""
-    return TypeChecker(program).check()
+    with obs_stage("typecheck") as sp:
+        checked = TypeChecker(program).check()
+        if sp is not None:
+            sp.set(functions=len(checked.signatures))
+        return checked
 
 
 def check_crate(crate: ast.Crate) -> CheckedProgram:

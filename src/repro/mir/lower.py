@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import LoweringError, Span
 from repro.lang import ast
+from repro.obs import stage as obs_stage
 from repro.lang.typeck import CheckedProgram
 from repro.lang.types import (
     BOOL,
@@ -538,10 +539,13 @@ def lower_function(checked: CheckedProgram, name: str) -> Body:
 
 def lower_program(checked: CheckedProgram) -> LoweredProgram:
     """Lower every function with a body (in every crate) to MIR."""
-    lowered = LoweredProgram(checked=checked)
-    for crate in checked.program.crates:
-        for decl in crate.functions():
-            if decl.body is None:
-                continue
-            lowered.bodies[decl.name] = FunctionLowerer(checked, decl).lower()
-    return lowered
+    with obs_stage("mir_lower") as sp:
+        lowered = LoweredProgram(checked=checked)
+        for crate in checked.program.crates:
+            for decl in crate.functions():
+                if decl.body is None:
+                    continue
+                lowered.bodies[decl.name] = FunctionLowerer(checked, decl).lower()
+        if sp is not None:
+            sp.set(bodies=len(lowered.bodies))
+        return lowered

@@ -1,0 +1,136 @@
+"""Export formats: Prometheus text exposition, Chrome trace files, trace dirs.
+
+These are the boundary between the in-process recorders and everything that
+reads them from outside — ``curl``-style scraping via ``repro metrics
+--prometheus``, ``chrome://tracing`` / Perfetto via the Chrome trace-event
+JSON, and ``repro serve --trace-dir`` which persists one rotated JSON file
+per traced request.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.metrics import parse_series
+from repro.obs.trace import Trace
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Metric names are repo-controlled, but sanitise defensively anyway."""
+    return "repro_" + _NAME_OK.sub("_", name)
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A registry snapshot in the Prometheus text exposition format.
+
+    Counter and gauge series render verbatim; histograms expand into the
+    conventional ``_bucket``/``_sum``/``_count`` triple with cumulative
+    ``le`` buckets and the implicit ``+Inf``.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for series, value in snapshot.get("counters", {}).items():
+        name, labels = parse_series(series)
+        prom = _prom_name(name)
+        header(prom, "counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+    for series, value in snapshot.get("gauges", {}).items():
+        name, labels = parse_series(series)
+        prom = _prom_name(name)
+        header(prom, "gauge")
+        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+    for series, hist in snapshot.get("histograms", {}).items():
+        name, labels = parse_series(series)
+        prom = _prom_name(name)
+        header(prom, "histogram")
+        for bound, cumulative in hist.get("buckets", []):
+            bucket_labels = dict(labels, le=f"{bound:g}")
+            lines.append(f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}")
+        inf_labels = dict(labels, le="+Inf")
+        lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {hist.get('count', 0)}")
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {hist.get('sum', 0.0):g}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {hist.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def chrome_trace_document(trace: Trace) -> dict:
+    """The flamegraph-ready Chrome trace-event JSON document for one trace."""
+    return {
+        "traceEvents": trace.to_chrome_events(),
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace.trace_id},
+    }
+
+
+def write_chrome_trace(path: Union[str, Path], trace: Trace) -> Path:
+    """Write one trace as a Chrome trace-event JSON file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(chrome_trace_document(trace), sort_keys=True), encoding="utf-8"
+    )
+    return target
+
+
+class TraceDirWriter:
+    """Rotated per-request trace files for ``repro serve --trace-dir``.
+
+    Each traced request becomes ``trace-<trace_id>.json`` (Chrome trace-event
+    format plus the span tree, so one file serves both Perfetto and the CLI
+    renderer).  Rotation keeps at most ``max_files`` on disk, dropping the
+    oldest; writes are best-effort — a full disk must never fail a request.
+    """
+
+    def __init__(self, directory: Union[str, Path], max_files: int = 256):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_files = max(1, max_files)
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def write(self, trace: Optional[Trace]) -> Optional[Path]:
+        if trace is None:
+            return None
+        document = chrome_trace_document(trace)
+        document["spanTree"] = trace.to_dict()
+        path = self.directory / f"trace-{trace.trace_id}.json"
+        with self._lock:
+            try:
+                path.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+            except OSError:
+                return None
+            self.written += 1
+            self._rotate()
+        return path
+
+    def _rotate(self) -> None:
+        try:
+            files = sorted(
+                self.directory.glob("trace-*.json"), key=lambda p: p.stat().st_mtime
+            )
+        except OSError:
+            return
+        for stale in files[: max(0, len(files) - self.max_files)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,22 @@
+"""Global observability kill switch shared by tracing and metrics.
+
+A single module-level flag keeps the disabled path as close to free as the
+interpreter allows: instrumented code does one attribute read before touching
+any recorder state.  The flag exists for two callers — the overhead-gate
+benchmark (which measures instrumented-vs-bare runs in one process) and
+operators who want the pipeline stripped to the bone.
+"""
+
+from __future__ import annotations
+
+ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn the whole observability substrate on or off process-wide."""
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+def is_enabled() -> bool:
+    return ENABLED

@@ -37,6 +37,8 @@ from repro.mir.indices import index_body
 from repro.mir.ir import Body, Location, Place, RETURN_LOCAL
 from repro.mir.lower import LoweredProgram
 from repro.mir.pretty import pretty_body
+from repro.obs import metrics as obs_metrics
+from repro.obs import span as obs_span
 
 
 # Cached-value kinds: a per-function analysis record served to queries, a
@@ -337,25 +339,40 @@ class SummaryStore:
         A memory hit refreshes the entry's LRU position; a disk hit promotes
         the entry back into the memory tier.  Returns ``None`` on a miss.
         """
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return self._entries[key]
-            value = self._load_from_disk(key)
-            if value is not None:
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                self._insert(key, value, write_disk=False)
-                return value
-            self.stats.misses += 1
-            return None
+        with obs_span("cache_get", kind=key.kind) as sp:
+            tier = "miss"
+            value: Optional[dict] = None
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    tier = "memory"
+                    value = self._entries[key]
+                else:
+                    value = self._load_from_disk(key)
+                    if value is not None:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        self._insert(key, value, write_disk=False)
+                        tier = "disk"
+                    else:
+                        self.stats.misses += 1
+            obs_metrics.get_registry().counter(
+                "cache_get_total", kind=key.kind, tier=tier
+            ).inc()
+            if sp is not None:
+                sp.set(tier=tier, fn=key.fn_name)
+            return value
 
     def put(self, key: CacheKey, value: dict) -> None:
         """Store ``value`` under ``key`` in memory and (if enabled) on disk."""
-        with self._lock:
-            self._insert(key, value, write_disk=True)
-            self.stats.puts += 1
+        with obs_span("cache_put", kind=key.kind) as sp:
+            with self._lock:
+                self._insert(key, value, write_disk=True)
+                self.stats.puts += 1
+            obs_metrics.get_registry().counter("cache_put_total", kind=key.kind).inc()
+            if sp is not None:
+                sp.set(fn=key.fn_name)
 
     def _insert(self, key: CacheKey, value: dict, write_disk: bool) -> None:
         self._entries[key] = value

@@ -17,7 +17,11 @@ follow it see the new workspace generation.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 class RWLock:
@@ -27,22 +31,44 @@ class RWLock:
     exclusively.  Waiting writers block new readers (writer preference).  The
     lock is not reentrant in either mode and not upgradable: a reader must
     release before acquiring the write side.
+
+    Every acquisition records its wait time and every release its hold time
+    into ``lock_wait_seconds{mode}`` / ``lock_hold_seconds{mode}`` — the
+    direct measurement of how much of a slow request was contention rather
+    than analysis.  ``registry`` defaults to the process-global one; tests
+    pass their own for isolation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        registry = registry if registry is not None else get_registry()
+        self._wait_hist = {
+            "read": registry.histogram("lock_wait_seconds", mode="read"),
+            "write": registry.histogram("lock_wait_seconds", mode="write"),
+        }
+        self._hold_hist = {
+            "read": registry.histogram("lock_hold_seconds", mode="read"),
+            "write": registry.histogram("lock_hold_seconds", mode="write"),
+        }
+        # thread ident -> (mode, acquired-at); the lock is not reentrant, so
+        # one entry per holder.  Guarded by ``_cond``'s mutex.
+        self._acquired_at: Dict[int, Tuple[str, float]] = {}
 
     # -- core protocol -----------------------------------------------------------
 
     def acquire_read(self) -> None:
         """Block until no writer holds or is waiting for the lock, then enter."""
+        started = time.perf_counter()
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            now = time.perf_counter()
+            self._acquired_at[threading.get_ident()] = ("read", now)
+        self._wait_hist["read"].observe(now - started)
 
     def release_read(self) -> None:
         """Exit the read side; wakes waiters when the last reader leaves."""
@@ -50,9 +76,13 @@ class RWLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+            held = self._acquired_at.pop(threading.get_ident(), None)
+        if held is not None:
+            self._hold_hist[held[0]].observe(time.perf_counter() - held[1])
 
     def acquire_write(self) -> None:
         """Block until the lock is completely free, then enter exclusively."""
+        started = time.perf_counter()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -61,12 +91,18 @@ class RWLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+            now = time.perf_counter()
+            self._acquired_at[threading.get_ident()] = ("write", now)
+        self._wait_hist["write"].observe(now - started)
 
     def release_write(self) -> None:
         """Exit the write side and wake every waiter."""
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+            held = self._acquired_at.pop(threading.get_ident(), None)
+        if held is not None:
+            self._hold_hist[held[0]].observe(time.perf_counter() - held[1])
 
     # -- context managers --------------------------------------------------------
 

@@ -19,21 +19,28 @@ instead of parsing messages.  The ``shutdown`` method ends the loop (EOF
 does too).
 
 Methods: ``open``, ``update``, ``close``, ``analyze``, ``slice``, ``focus``,
-``ifc``, ``warm``, ``stats``, ``version``, ``ping``, ``shutdown``.  The
-concurrent front door (:mod:`repro.service.server`) adds a mux-level
-``workspace`` method and serves this dialect alongside JSON-RPC on the same
-sockets.  ``docs/PROTOCOL.md`` documents every request/response shape with
-replayable transcripts.
+``ifc``, ``warm``, ``stats``, ``metrics``, ``version``, ``ping``,
+``shutdown``.  The concurrent front door (:mod:`repro.service.server`) adds
+a mux-level ``workspace`` method and serves this dialect alongside JSON-RPC
+on the same sockets.  ``docs/PROTOCOL.md`` documents every request/response
+shape with replayable transcripts.
+
+Telemetry: every response carries a ``trace_id``; any request may set
+``"trace": true`` (top level, next to ``method``) to get the request's span
+tree back under ``trace``; ``analyze`` accepts an optional ``source`` param
+to open-and-analyze in one round trip.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from typing import IO, Optional
 
 from repro.core.config import AnalysisConfig
 from repro.errors import QueryError, ReproError
+from repro.obs import get_registry, new_trace_id, start_trace
 from repro.service.session import AnalysisSession
 from repro.version import __version__
 
@@ -90,11 +97,21 @@ class AnalysisService:
         Always returns a response object; every failure mode maps to an
         ``ok: false`` response with a stable ``error_code`` — the loop (and
         the server connection above it) survives anything a query throws.
+
+        Telemetry contract: every response carries a ``trace_id`` (a
+        client-supplied one is honoured, so the front-door server can stamp
+        requests before dispatch); ``"trace": true`` on any request wraps
+        the handler in a trace and returns the span tree under ``trace``;
+        each request lands in ``requests_total``/``request_seconds``.
         """
         request_id = request.get("id")
         self.requests_handled += 1
+        trace_id = request.get("trace_id")
+        trace_id = str(trace_id) if trace_id else new_trace_id()
+        method = request.get("method")
+        started = time.perf_counter()
+        trace = None
         try:
-            method = request.get("method")
             if not isinstance(method, str):
                 raise ProtocolError("missing `method`")
             handler = getattr(self, f"_method_{method}", None)
@@ -103,22 +120,40 @@ class AnalysisService:
             params = request.get("params", {})
             if not isinstance(params, dict):
                 raise ProtocolError("`params` must be an object")
-            result = handler(params)
-            return {"id": request_id, "ok": True, "result": result}
+            if request.get("trace") is True:
+                with start_trace(method, trace_id=trace_id) as trace:
+                    result = handler(params)
+            else:
+                result = handler(params)
+            response = {"id": request_id, "ok": True, "result": result}
         except QueryError as error:
-            return self._error_response(request_id, str(error), error.code)
+            response = self._error_response(request_id, str(error), error.code)
         except ProtocolError as error:
-            return self._error_response(request_id, str(error), error.code)
+            response = self._error_response(request_id, str(error), error.code)
         except ReproError as error:
-            return self._error_response(request_id, str(error), "repro_error")
+            response = self._error_response(request_id, str(error), "repro_error")
         except (KeyError, TypeError, ValueError) as error:
-            return self._error_response(request_id, f"bad request: {error}", "bad_request")
+            response = self._error_response(request_id, f"bad request: {error}", "bad_request")
         except Exception as error:  # the loop survives anything a query throws
-            return self._error_response(
+            response = self._error_response(
                 request_id,
                 f"internal error: {type(error).__name__}: {error}",
                 "internal_error",
             )
+        elapsed = time.perf_counter() - started
+        method_label = method if isinstance(method, str) else "invalid"
+        registry = get_registry()
+        registry.histogram("request_seconds", method=method_label).observe(elapsed)
+        registry.counter(
+            "requests_total",
+            method=method_label,
+            protocol="ndjson",
+            status="ok" if response.get("ok") else "error",
+        ).inc()
+        response["trace_id"] = trace_id
+        if trace is not None:
+            response["trace"] = trace.to_dict()
+        return response
 
     # -- methods -----------------------------------------------------------------
 
@@ -159,6 +194,15 @@ class AnalysisService:
         return self.session.close_unit(str(params.get("unit", "main")))
 
     def _method_analyze(self, params: dict) -> dict:
+        source = params.get("source")
+        if source is not None:
+            # Open-and-analyze in one request: the single round trip whose
+            # trace covers the whole pipeline (parse → fixpoint → cache).
+            # Callers routing through the concurrent server take the write
+            # lock for it (see repro.service.server.is_write_request).
+            if not isinstance(source, str):
+                raise ProtocolError("`source` must be a string when present")
+            self._method_open(params)
         return self.session.analyze(
             function=params.get("function"),
             config=condition_from_params(params),
@@ -216,6 +260,20 @@ class AnalysisService:
 
     def _method_stats(self, params: dict) -> dict:
         return self.session.stats()
+
+    def _method_metrics(self, params: dict) -> dict:
+        """The process-wide metrics registry snapshot (plus session counters).
+
+        Counters/histograms are cumulative since process start; consumers
+        wanting a window take two snapshots and diff
+        (:func:`repro.obs.snapshot_delta`).
+        """
+        snapshot = get_registry().snapshot()
+        snapshot["session"] = {
+            "counters": dict(self.session.counters),
+            "store": self.session.store.stats.to_dict(),
+        }
+        return snapshot
 
     def _method_shutdown(self, params: dict) -> dict:
         self.shutdown_requested = True

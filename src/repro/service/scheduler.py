@@ -30,6 +30,8 @@ from repro.core.engine import FlowEngine
 from repro.lang.parser import parse_program
 from repro.lang.typeck import check_program
 from repro.mir.callgraph import CallGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import span as obs_span
 from repro.service.cache import (
     FingerprintIndex,
     FunctionRecord,
@@ -223,6 +225,12 @@ class BatchScheduler:
             names = engine.local_function_names()
         condition = config_cache_key(engine.config)
         waves = schedule_waves(engine.call_graph, names)
+        registry = obs_metrics.get_registry()
+        wave_sizes = registry.histogram(
+            "scheduler_wave_size", buckets=obs_metrics.COUNT_BUCKETS
+        )
+        for wave in waves:
+            wave_sizes.observe(len(wave))
 
         result = BatchResult(mode="serial", waves=waves)
 
@@ -271,6 +279,8 @@ class BatchScheduler:
                     store.put(key, record.to_json_dict())
 
         result.seconds = time.perf_counter() - start
+        registry.counter("scheduler_batches_total", mode=result.mode).inc()
+        registry.histogram("stage_seconds", stage="batch").observe(result.seconds)
         return result
 
     def _run_serial(
@@ -283,17 +293,21 @@ class BatchScheduler:
         result: BatchResult,
     ) -> None:
         pending = set(to_compute)
-        for wave in waves:
-            for name in wave:
-                if name not in pending:
-                    continue
-                flow = engine.analyze_function(name)
-                fingerprint = (
-                    fingerprints.record_fingerprint(name, engine.config)
-                    if fingerprints is not None
-                    else ""
-                )
-                result.records[name] = FunctionRecord.from_result(flow, fingerprint, condition)
+        for index, wave in enumerate(waves):
+            scheduled = [name for name in wave if name in pending]
+            if not scheduled:
+                continue
+            with obs_span("wave", index=index, size=len(scheduled)):
+                for name in scheduled:
+                    flow = engine.analyze_function(name)
+                    fingerprint = (
+                        fingerprints.record_fingerprint(name, engine.config)
+                        if fingerprints is not None
+                        else ""
+                    )
+                    result.records[name] = FunctionRecord.from_result(
+                        flow, fingerprint, condition
+                    )
 
     def _run_parallel(
         self,
@@ -309,7 +323,7 @@ class BatchScheduler:
             initializer=_init_worker,
             initargs=(source, engine.local_crate, config_kwargs),
         ) as pool:
-            for wave in waves:
+            for index, wave in enumerate(waves):
                 wave_names = [n for n in wave if n in to_compute]
                 if not wave_names:
                     continue
@@ -317,7 +331,10 @@ class BatchScheduler:
                     wave_names[i : i + self.chunk_size]
                     for i in range(0, len(wave_names), self.chunk_size)
                 ]
-                for payload in pool.map(_analyze_batch, chunks):
-                    for data in payload:
-                        record = FunctionRecord.from_json_dict(data)
-                        result.records[record.fn_name] = record
+                # Workers are separate processes: their spans are invisible
+                # here, so the wave span measures the fan-out wall time.
+                with obs_span("wave", index=index, size=len(wave_names), parallel=True):
+                    for payload in pool.map(_analyze_batch, chunks):
+                        for data in payload:
+                            record = FunctionRecord.from_json_dict(data)
+                            result.records[record.fn_name] = record

@@ -37,6 +37,7 @@ one *hello* line (``{"hello": ..., "version": ..., "protocols": [...],
 from __future__ import annotations
 
 import json
+import logging
 import socket
 import threading
 import time
@@ -44,6 +45,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import QueryError
+from repro.obs import get_registry, new_trace_id, start_trace
+from repro.obs.export import TraceDirWriter
 from repro.service.locks import RWLock
 from repro.service.persist import has_workspace, open_or_create_workspace, save_workspace
 from repro.service.protocol import AnalysisService
@@ -53,12 +56,33 @@ from repro.version import __version__
 SERVER_NAME = "repro-flowistry"
 PROTOCOLS = ("ndjson", "jsonrpc-2.0")
 
+# One structured line per request when the access log is enabled; emitted at
+# INFO so the default (no handler configured → dropped) keeps stdout-replay
+# consumers byte-stable.  ``repro serve --log-level info`` wires a handler.
+ACCESS_LOG = logging.getLogger("repro.access")
+
 # Methods that mutate the shared workspace and therefore take the write side
 # of the session's RW lock; everything else is a concurrent read.
 NDJSON_WRITE_METHODS = frozenset({"open", "update", "close", "warm"})
 JSONRPC_WRITE_METHODS = frozenset(
     {"textDocument/didOpen", "textDocument/didChange", "textDocument/didClose"}
 )
+
+
+def is_write_request(message: dict) -> bool:
+    """Whether one parsed message needs the workspace write lock.
+
+    Method identity is almost enough; the exception is ``analyze`` with an
+    inline ``source`` (the open-and-analyze round trip), which mutates the
+    workspace like ``open`` does.
+    """
+    if message.get("jsonrpc") == "2.0":
+        return message.get("method") in JSONRPC_WRITE_METHODS
+    method = message.get("method")
+    if method == "analyze":
+        params = message.get("params")
+        return isinstance(params, dict) and "source" in params
+    return method in NDJSON_WRITE_METHODS
 
 
 @dataclass
@@ -203,9 +227,13 @@ class ConnectionHandler:
         registry: WorkspaceRegistry,
         workspace: str = "default",
         on_mutation: Optional[Callable[[SessionHandle], None]] = None,
+        log_level: str = "quiet",
+        trace_writer: Optional[TraceDirWriter] = None,
     ):
         self.registry = registry
         self.on_mutation = on_mutation if on_mutation is not None else registry.note_mutation
+        self.log_level = log_level
+        self.trace_writer = trace_writer
         self._bind(registry.handle(workspace))
 
     def _bind(self, handle: SessionHandle) -> None:
@@ -276,25 +304,40 @@ class ConnectionHandler:
     def handle_message(self, message: dict) -> Optional[dict]:
         """Dispatch one parsed message under the appropriate lock."""
         handle = self.handle_ref
+        write = is_write_request(message)
         if message.get("jsonrpc") == "2.0":
-            write = message.get("method") in JSONRPC_WRITE_METHODS
             with handle.lock.locked(write):
                 response = self.jsonrpc.handle(message)
                 if write:
                     self.on_mutation(handle)
             return response
-        method = message.get("method")
-        if method == "workspace":
+        if message.get("method") == "workspace":
+            get_registry().counter(
+                "requests_total", method="workspace", protocol="mux", status="ok"
+            ).inc()
             return self._switch_workspace(message)
-        write = method in NDJSON_WRITE_METHODS
         with handle.lock.locked(write):
             response = self.ndjson.handle(message)
             if write:
                 self.on_mutation(handle)
         return response
 
+    @staticmethod
+    def _response_status(response: Optional[dict]) -> str:
+        if response is None:
+            return "ok"  # notifications have no failure channel
+        if response.get("ok") is False or "error" in response:
+            return "error"
+        return "ok"
+
     def handle_line(self, line: str) -> Optional[dict]:
-        """Parse one wire line and dispatch it; never raises."""
+        """Parse one wire line and dispatch it; never raises.
+
+        The connection-level telemetry wrapper: stamps a ``trace_id`` into
+        the message (inner dialects echo it), traces the request when a
+        ``--trace-dir`` writer is attached, and emits one structured access
+        log line unless the log level is ``quiet``.
+        """
         try:
             message = json.loads(line)
         except json.JSONDecodeError as error:
@@ -311,7 +354,39 @@ class ConnectionHandler:
                 "error": "request must be a JSON object",
                 "error_code": "parse_error",
             }
-        return self.handle_message(message)
+        trace_id = message.get("trace_id")
+        trace_id = str(trace_id) if trace_id else new_trace_id()
+        message.setdefault("trace_id", trace_id)
+        method = message.get("method")
+        workspace = self.handle_ref.name
+        started = time.perf_counter()
+        if self.trace_writer is not None:
+            # A client-requested in-band trace ("trace": true) opens its own
+            # nested trace; the server-side file then only covers the mux.
+            with start_trace(
+                method if isinstance(method, str) else "invalid", trace_id=trace_id
+            ) as trace:
+                response = self.handle_message(message)
+            self.trace_writer.write(trace)
+        else:
+            response = self.handle_message(message)
+        duration_ms = (time.perf_counter() - started) * 1e3
+        if response is not None and "trace_id" not in response:
+            response["trace_id"] = trace_id
+        if self.log_level != "quiet":
+            ACCESS_LOG.info(
+                json.dumps(
+                    {
+                        "trace_id": trace_id,
+                        "method": method if isinstance(method, str) else None,
+                        "workspace": workspace,
+                        "status": self._response_status(response),
+                        "duration_ms": round(duration_ms, 3),
+                    },
+                    sort_keys=True,
+                )
+            )
+        return response
 
 
 class ThreadedAnalysisServer:
@@ -341,11 +416,15 @@ class ThreadedAnalysisServer:
         max_entries: int = 4096,
         local_crate: str = "main",
         default_workspace: str = "default",
+        log_level: str = "quiet",
+        trace_dir: Optional[str] = None,
     ):
         self.registry = WorkspaceRegistry(
             persist_dir=persist_dir, max_entries=max_entries, local_crate=local_crate
         )
         self.default_workspace = default_workspace
+        self.log_level = log_level
+        self.trace_writer = TraceDirWriter(trace_dir) if trace_dir else None
         self.workers = max(1, workers)
         self._listener = socket.create_server((host, port), backlog=128)
         self.host, self.port = self._listener.getsockname()[:2]
@@ -476,6 +555,7 @@ class ThreadedAnalysisServer:
                     accepted = True
                     self._conns.add(conn)
                     self.connections_served += 1
+                    get_registry().gauge("server_connections").set(len(self._conns))
             if not accepted:
                 self._reject_client(conn)
                 continue
@@ -519,7 +599,12 @@ class ThreadedAnalysisServer:
             # the slot and socket must be released either way, and the
             # client deserves an error line rather than a silent EOF.
             try:
-                handler = ConnectionHandler(self.registry, self.default_workspace)
+                handler = ConnectionHandler(
+                    self.registry,
+                    self.default_workspace,
+                    log_level=self.log_level,
+                    trace_writer=self.trace_writer,
+                )
             except Exception as error:
                 emit({
                     "id": None,
@@ -535,14 +620,17 @@ class ThreadedAnalysisServer:
                 line = line.strip()
                 if not line:
                     continue
+                inflight_gauge = get_registry().gauge("server_inflight")
                 with self._state_cond:
                     self._inflight += 1
+                    inflight_gauge.set(self._inflight)
                 try:
                     response = handler.handle_line(line)
                 finally:
                     with self._state_cond:
                         self._inflight -= 1
                         self.requests_served += 1
+                        inflight_gauge.set(self._inflight)
                         self._state_cond.notify_all()
                 if response is not None:
                     emit(response)
@@ -553,6 +641,7 @@ class ThreadedAnalysisServer:
         finally:
             with self._state_cond:
                 self._conns.discard(conn)
+                get_registry().gauge("server_connections").set(len(self._conns))
             try:
                 conn.close()
             except OSError:

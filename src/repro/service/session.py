@@ -32,6 +32,8 @@ from repro.lang.typeck import check_program
 from repro.mir.callgraph import CallGraph, build_call_graph
 from repro.mir.ir import Body
 from repro.mir.lower import lower_program
+from repro.obs import metrics as obs_metrics
+from repro.obs import span as obs_span
 from repro.service.cache import (
     FingerprintIndex,
     FunctionRecord,
@@ -177,6 +179,17 @@ class AnalysisSession:
     def _rebuild(self) -> dict:
         """Re-derive program state after a workspace change and evict exactly
         the cache entries the edit can have affected."""
+        with obs_span("rebuild") as sp:
+            out = self._rebuild_inner()
+            if sp is not None:
+                sp.set(
+                    generation=out["generation"],
+                    functions=out["functions"],
+                    evicted_entries=out["evicted_entries"],
+                )
+            return out
+
+    def _rebuild_inner(self) -> dict:
         old_snapshot = (
             self._fingerprints.snapshot() if self._fingerprints is not None else {}
         )
@@ -222,9 +235,16 @@ class AnalysisSession:
                 sig_changed=sig_changed,
                 removed=removed,
             )
-            for plan in plans.values():
+            registry = obs_metrics.get_registry()
+            for wp, plan in plans.items():
                 evicted_entries += apply_invalidation(self.store, plan)
                 self._purge_memo(plan)
+                registry.histogram(
+                    "invalidation_cone_size",
+                    buckets=obs_metrics.COUNT_BUCKETS,
+                    condition="whole_program" if wp else "modular",
+                ).observe(len(plan.evict))
+            registry.counter("invalidation_entries_total").inc(evicted_entries)
             self._bump("edits")
         self.last_plans = plans
 

@@ -202,7 +202,7 @@ def test_experiment_command_small_scale():
 
 ALL_SUBCOMMANDS = [
     "mir", "analyze", "slice", "focus", "stats", "ifc", "fuzz", "corpus",
-    "experiment", "serve", "workspace", "version", "query",
+    "experiment", "serve", "workspace", "version", "query", "trace", "metrics",
 ]
 
 
@@ -351,3 +351,66 @@ def test_workspace_load_missing_is_clean_error(tmp_path):
     )
     assert code == 2
     assert "error" in output
+
+
+def test_serve_stdio_rejects_socket_only_flags(tmp_path):
+    for extra in (["--log-level", "info"], ["--trace-dir", str(tmp_path)]):
+        code, output = run_cli("serve", *extra)
+        assert code == 2
+        assert "socket-mode flag" in output
+
+
+# ---------------------------------------------------------------------------
+# trace / metrics (observability surfaces)
+# ---------------------------------------------------------------------------
+
+
+def test_trace_command_prints_span_tree(source_file):
+    code, output = run_cli("trace", source_file)
+    assert code == 0
+    assert output.startswith("trace ")
+    for span_name in ("analyze", "parse", "fixpoint"):
+        assert span_name in output
+    assert "spans," in output and "ms total" in output
+
+
+def test_trace_command_json_and_chrome_export(tmp_path, source_file):
+    import json
+
+    chrome_path = tmp_path / "chrome.json"
+    code, output = run_cli(
+        "trace", source_file, "--json", "--chrome", str(chrome_path)
+    )
+    assert code == 0
+    tree = json.loads(output.splitlines()[0])
+    assert tree["root"]["name"] == "analyze"
+    assert tree["root"]["children"], "trace has no child spans"
+
+    document = json.loads(chrome_path.read_text(encoding="utf-8"))
+    events = document["traceEvents"]
+    assert any(event["name"] == "fixpoint" for event in events)
+    assert all(event["ph"] == "X" for event in events)
+
+
+def test_trace_command_honours_condition_flags(source_file):
+    import json
+
+    code, output = run_cli("trace", source_file, "--whole-program", "--json")
+    assert code == 0
+    tree = json.loads(output.splitlines()[0])
+    fixpoints = [
+        node for node in _walk(tree["root"]) if node["name"] == "fixpoint"
+    ]
+    assert fixpoints, "no fixpoint span recorded"
+
+
+def _walk(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+def test_metrics_command_without_server_is_clean_error():
+    code, output = run_cli("metrics", "--port", "1")  # nothing listens there
+    assert code == 2
+    assert "error" in output and "cannot connect" in output

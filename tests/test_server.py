@@ -12,6 +12,7 @@ import pytest
 
 from helpers import GET_COUNT_SOURCE
 
+from repro.obs import MetricsRegistry
 from repro.service.locks import RWLock
 from repro.service.persist import (
     has_workspace,
@@ -98,6 +99,133 @@ class TestRWLock:
         w.join(timeout=5)
         r.join(timeout=5)
         assert got_write.is_set() and late_reader_entered.is_set()
+
+    def test_wait_and_hold_histograms_advance_under_contention(self):
+        registry = MetricsRegistry()
+        lock = RWLock(registry=registry)
+
+        # A writer holds the lock while a reader waits: the reader's wait
+        # time must reflect the writer's hold time.
+        lock.acquire_write()
+        reader_done = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                reader_done.set()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        lock.release_write()
+        t.join(timeout=5)
+        assert reader_done.is_set()
+
+        snap = registry.snapshot()["histograms"]
+        write_hold = snap['lock_hold_seconds{mode="write"}']
+        read_wait = snap['lock_wait_seconds{mode="read"}']
+        read_hold = snap['lock_hold_seconds{mode="read"}']
+        assert write_hold["count"] == 1 and write_hold["sum"] >= 0.05
+        assert read_wait["count"] == 1 and read_wait["sum"] >= 0.04
+        assert read_hold["count"] == 1
+
+        # The reverse: readers hold while a writer waits.
+        lock.acquire_read()
+        writer_done = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)
+        lock.release_read()
+        w.join(timeout=5)
+        assert writer_done.is_set()
+        snap = registry.snapshot()["histograms"]
+        assert snap['lock_wait_seconds{mode="write"}']["sum"] >= 0.04
+        assert snap['lock_hold_seconds{mode="read"}']["count"] == 2
+
+    def test_uncontended_acquisitions_record_near_zero_waits(self):
+        registry = MetricsRegistry()
+        lock = RWLock(registry=registry)
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+        snap = registry.snapshot()["histograms"]
+        for mode in ("read", "write"):
+            wait = snap[f'lock_wait_seconds{{mode="{mode}"}}']
+            assert wait["count"] == 1 and wait["max"] < 0.05
+
+    def test_metrics_snapshot_is_safe_under_concurrent_lock_traffic(self):
+        """Snapshots taken while many threads hammer the same lock's
+        histograms must never raise and must observe monotone counts."""
+        registry = MetricsRegistry()
+        lock = RWLock(registry=registry)
+        stop = threading.Event()
+        failures = []
+
+        def worker():
+            while not stop.is_set():
+                with lock.read_locked():
+                    pass
+
+        def snapshotter():
+            last = 0
+            while not stop.is_set():
+                try:
+                    snap = registry.snapshot()
+                except Exception as error:  # pragma: no cover - the failure mode
+                    failures.append(error)
+                    return
+                hist = snap["histograms"].get('lock_hold_seconds{mode="read"}')
+                if hist is not None:
+                    assert hist["count"] >= last
+                    last = hist["count"]
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads.append(threading.Thread(target=snapshotter))
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not failures
+        final = registry.snapshot()["histograms"]['lock_hold_seconds{mode="read"}']
+        assert final["count"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Write/read classification
+# ---------------------------------------------------------------------------
+
+
+class TestIsWriteRequest:
+    def test_ndjson_methods(self):
+        from repro.service.server import is_write_request
+
+        for method in ("open", "update", "close", "warm"):
+            assert is_write_request({"method": method})
+        for method in ("analyze", "slice", "focus", "stats", "metrics", "ping"):
+            assert not is_write_request({"method": method})
+
+    def test_analyze_with_inline_source_takes_the_write_lock(self):
+        from repro.service.server import is_write_request
+
+        assert is_write_request(
+            {"method": "analyze", "params": {"source": "fn f() -> u32 { 1 }"}}
+        )
+        assert not is_write_request({"method": "analyze", "params": {"function": "f"}})
+
+    def test_jsonrpc_methods(self):
+        from repro.service.server import is_write_request
+
+        assert is_write_request(
+            {"jsonrpc": "2.0", "method": "textDocument/didChange"}
+        )
+        assert not is_write_request({"jsonrpc": "2.0", "method": "repro/focus"})
 
 
 # ---------------------------------------------------------------------------

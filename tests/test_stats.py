@@ -144,3 +144,49 @@ def test_interaction_regression_unknown_term_raises():
     regression = interaction_regression(sizes)
     with pytest.raises(KeyError):
         regression.term("nope")
+
+
+# ---------------------------------------------------------------------------
+# Shared latency-percentile helpers (used by perf, load, and the benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    from repro.eval.stats import percentile
+
+    samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 0.5) == 3.0
+    assert percentile(samples, 1.0) == 5.0
+    # Nearest-rank: every answer is an actual sample.
+    assert percentile(samples, 0.9) in samples
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_median_interpolates_even_counts():
+    from repro.eval.stats import median
+
+    assert median([]) == 0.0
+    assert median([3.0]) == 3.0
+    assert median([1.0, 2.0, 4.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == pytest.approx(2.5)
+
+
+def test_latency_summary_ms_units_and_keys():
+    from repro.eval.stats import latency_summary_ms
+
+    samples = [i / 1000.0 for i in range(1, 101)]  # 1ms .. 100ms, in seconds
+    summary = latency_summary_ms(samples)
+    assert set(summary) == {"p50", "p95", "p99"}
+    assert summary["p50"] == pytest.approx(50.0, abs=1.0)
+    assert summary["p95"] == pytest.approx(95.0, abs=1.0)
+    assert summary["p99"] == pytest.approx(99.0, abs=1.0)
+    assert latency_summary_ms([], fractions=(0.5,)) == {"p50": 0.0}
+
+
+def test_percentile_reexported_from_perf():
+    from repro.eval.perf import percentile as perf_percentile
+    from repro.eval.stats import percentile
+
+    assert perf_percentile is percentile
