@@ -9,10 +9,17 @@ Kept out of ``conftest.py`` so benchmark modules can import them explicitly
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 
 REPORT_DIR = Path(__file__).parent / "reports"
+HISTORY_DIR = REPORT_DIR / "history"
+
+# Module-load wall-clock origin: write_json_report stamps how long after
+# import the report landed, a cheap monotonic "duration" that needs no
+# cooperation from the benchmark code.
+_IMPORTED_AT = time.perf_counter()
 
 
 def bench_scale() -> float:
@@ -42,10 +49,45 @@ def write_report(report_dir: Path, name: str, text: str) -> Path:
 
 
 def write_json_report(report_dir: Path, name: str, data) -> Path:
-    """Persist a machine-readable report next to its rendered twin."""
+    """Persist a machine-readable report next to its rendered twin.
+
+    Dict payloads are stamped with a ``run_meta`` block (git sha, python
+    version, hostname, monotonic duration since harness import) so every
+    report carries the provenance the history ledger records — and the
+    backfill adapter (``repro bench backfill``) can ingest them.
+    """
     import json
 
+    from repro.obs.history import run_metadata
+
+    if isinstance(data, dict) and "run_meta" not in data:
+        data = dict(
+            data,
+            run_meta=run_metadata(
+                duration_seconds=time.perf_counter() - _IMPORTED_AT
+            ),
+        )
     report_dir.mkdir(parents=True, exist_ok=True)
     path = report_dir / f"{name}.json"
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
+
+
+def record_history(metrics: dict, history_dir: Path = HISTORY_DIR) -> str:
+    """Append one benchmark run's flat ``metric -> value`` dict to the ledger.
+
+    The bridge between the pytest-driven benchmark files and the `repro
+    bench` history: each benchmark calls this once with its headline
+    numbers, so CI runs and local runs accumulate in the same trajectory.
+    Returns the run id.
+    """
+    from repro.eval.bench import record_run
+    from repro.obs.history import HistoryLedger
+
+    run_id, _count = record_run(
+        HistoryLedger(history_dir),
+        {name: float(value) for name, value in metrics.items()},
+        timestamp=time.time(),
+        config={"source": "benchmarks", "scale": bench_scale()},
+    )
+    return run_id

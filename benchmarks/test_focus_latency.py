@@ -14,12 +14,11 @@ as a machine-readable artifact and trend it across commits.
 
 from __future__ import annotations
 
-import json
-
-from bench_utils import write_report
+from bench_utils import record_history, write_json_report, write_report
 
 from repro.core.config import MODULAR, WHOLE_PROGRAM
 from repro.eval.perf import measure_focus_latency, render_focus_latency_report
+from repro.eval.stats import latency_summary_ms
 
 
 def test_focus_latency_cold_vs_warm(corpus, report_dir):
@@ -29,13 +28,22 @@ def test_focus_latency_cold_vs_warm(corpus, report_dir):
     ]
     write_report(report_dir, "focus_latency", render_focus_latency_report(latencies))
 
-    json_path = report_dir / "focus_latency.json"
-    json_path.write_text(
-        json.dumps([lat.to_json_dict() for lat in latencies], indent=2, sort_keys=True)
-        + "\n",
-        encoding="utf-8",
+    json_path = write_json_report(
+        report_dir,
+        "focus_latency",
+        {"conditions": [lat.to_json_dict() for lat in latencies]},
     )
     print(f"[benchmark JSON written to {json_path}]")
+    modular = latencies[0]
+    cold = latency_summary_ms(modular.cold_seconds, fractions=(0.50,))
+    warm = latency_summary_ms(modular.warm_seconds, fractions=(0.50,))
+    record_history(
+        {
+            "focus.warm_speedup": modular.speedup,
+            "focus.cold_p50_ms": cold["p50"],
+            "focus.warm_p50_ms": warm["p50"],
+        }
+    )
 
     for lat in latencies:
         assert lat.queries > 0

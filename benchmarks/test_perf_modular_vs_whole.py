@@ -14,9 +14,7 @@ primitive gap.  Both are written to ``benchmarks/reports/engine_speedup.json``
 so CI archives the speedup trajectory per commit.
 """
 
-import json
-
-from bench_utils import write_report
+from bench_utils import record_history, write_json_report, write_report
 
 from repro.core.config import MODULAR, WHOLE_PROGRAM
 from repro.core.engine import FlowEngine
@@ -70,20 +68,29 @@ def test_perf_engine_speedup_and_theta_join(corpus, report_dir):
     )
     write_report(report_dir, "engine_speedup", report)
 
-    json_path = report_dir / "engine_speedup.json"
-    json_path.write_text(
-        json.dumps(
-            {
-                "fig2_workload": [cmp.to_json_dict() for cmp in comparisons],
-                "theta_join": join_bench.to_json_dict(),
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n",
-        encoding="utf-8",
+    json_path = write_json_report(
+        report_dir,
+        "engine_speedup",
+        {
+            "fig2_workload": [cmp.to_json_dict() for cmp in comparisons],
+            "theta_join": join_bench.to_json_dict(),
+        },
     )
     print(f"[benchmark JSON written to {json_path}]")
+    record_history(
+        {
+            "fig2.engine_speedup": comparisons[0].speedup,
+            "fig2.object_seconds": comparisons[0].object_seconds,
+            "fig2.bitset_seconds": comparisons[0].bitset_seconds,
+            "theta_join.speedup": join_bench.speedup,
+            "theta_join.object_us_per_join": join_bench.object_seconds
+            / join_bench.joins
+            * 1e6,
+            "theta_join.bitset_us_per_join": join_bench.bitset_seconds
+            / join_bench.joins
+            * 1e6,
+        }
+    )
 
     modular = comparisons[0]
     assert modular.speedup >= 2.0, (

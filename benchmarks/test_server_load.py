@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import socket
 
-from bench_utils import write_report
+from bench_utils import record_history, write_json_report, write_report
 
 from repro.eval.load import (
     render_load_report,
@@ -40,12 +40,17 @@ def test_server_load_swarm(corpus, report_dir):
     report = run_load_study(corpus=corpus, client_counts=(1, 4, 16), workers=16)
     write_report(report_dir, "server_load", render_load_report(report))
 
-    json_path = report_dir / "server_load.json"
-    json_path.write_text(
-        json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    json_path = write_json_report(report_dir, "server_load", report.to_json_dict())
     print(f"[benchmark JSON written to {json_path}]")
+    top = report.runs[-1]
+    record_history(
+        {
+            "load.throughput_rps": top.throughput_rps,
+            "load.p50_ms": top.latency_ms(0.50),
+            "load.p99_ms": top.latency_ms(0.99),
+            "load.errors": float(sum(run.errors for run in report.runs)),
+        }
+    )
 
     assert report.plan_size > 0
     assert [run.clients for run in report.runs] == [1, 4, 16]

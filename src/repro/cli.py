@@ -234,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["quiet", "info", "debug"],
                            help="socket mode: access-log verbosity (one structured "
                                 "line per request to stderr; default quiet)")
+    serve_cmd.add_argument("--slowlog-threshold-ms", type=float, default=None,
+                           help="socket mode: retain trace exemplars for requests "
+                                "slower than this (default: adaptive rolling p99)")
+    serve_cmd.add_argument("--slowlog-capacity", type=int, default=32,
+                           help="socket mode: slow-request ring buffer size")
+    serve_cmd.add_argument("--no-slowlog", action="store_true",
+                           help="socket mode: disable the slow-request log "
+                                "(and its per-request tracing)")
     serve_cmd.add_argument("--trace-dir",
                            help="socket mode: write one rotated Chrome-trace JSON "
                                 "file per request into this directory")
@@ -275,6 +283,58 @@ def build_parser() -> argparse.ArgumentParser:
                                 "JSON (chrome://tracing / Perfetto) to PATH")
     _add_condition_flags(trace_cmd)
 
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run a traced+profiled analysis of a file and report where time went",
+    )
+    profile_cmd.add_argument("file")
+    profile_cmd.add_argument("--function", help="only this function (default: all)")
+    profile_cmd.add_argument("--local-crate", default="main")
+    profile_cmd.add_argument("--hz", type=float, default=97.0,
+                             help="sampling rate (default 97)")
+    profile_cmd.add_argument("--flame", metavar="PATH",
+                             help="write a standalone flamegraph (SVG, or HTML "
+                                  "if PATH ends in .html)")
+    profile_cmd.add_argument("--collapsed", metavar="PATH",
+                             help="write collapsed-stack text (flamegraph.pl / "
+                                  "speedscope format)")
+    profile_cmd.add_argument("--chrome", metavar="PATH",
+                             help="write Chrome trace-event JSON with the "
+                                  "profile merged in (stackFrames + samples)")
+    profile_cmd.add_argument("--code-frames", action="store_true",
+                             help="append in-repo Python frames below the span stack")
+    profile_cmd.add_argument("--json", action="store_true",
+                             help="print the profile as JSON instead of text")
+    _add_condition_flags(profile_cmd)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the registered benchmark suite into the history ledger "
+             "(subcommands: report, backfill)",
+    )
+    bench.add_argument("--ledger-dir", default="benchmarks/reports/history",
+                       help="history ledger directory (default benchmarks/reports/history)")
+    bench.add_argument("--scale", type=float, default=0.15,
+                       help="workload scale factor for the suite (default 0.15)")
+    bench.add_argument("--only", action="append", default=None, metavar="NAME",
+                       help="run only this registered benchmark (repeatable); "
+                            "registered: theta_join, fig2, focus, load")
+    bench.add_argument("--run-id", default=None,
+                       help="explicit run id (default: random)")
+    bsub = bench.add_subparsers(dest="bench_command")
+    bench_report_cmd = bsub.add_parser(
+        "report", help="render per-metric trajectories with regression verdicts"
+    )
+    bench_report_cmd.add_argument("--json", action="store_true",
+                                  help="machine-readable report")
+    bench_report_cmd.add_argument("--gate", action="store_true",
+                                  help="exit 1 if any gated metric regressed")
+    bench_backfill_cmd = bsub.add_parser(
+        "backfill", help="ingest existing benchmarks/reports/*.json into the ledger"
+    )
+    bench_backfill_cmd.add_argument("--report-dir", default="benchmarks/reports",
+                                    help="directory of legacy report JSONs")
+
     metrics_cmd = sub.add_parser(
         "metrics",
         help="fetch the metrics snapshot from a live `repro serve --port` server",
@@ -283,6 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument("--port", type=int, required=True)
     metrics_cmd.add_argument("--prometheus", action="store_true",
                              help="Prometheus text exposition instead of JSON")
+    metrics_cmd.add_argument("--slowlog", action="store_true",
+                             help="fetch the slow-request log instead of metrics")
+    metrics_cmd.add_argument("--health", action="store_true",
+                             help="fetch the health summary instead of metrics")
+    metrics_cmd.add_argument("--limit", type=int, default=None,
+                             help="with --slowlog: at most N entries")
+    metrics_cmd.add_argument("--no-traces", action="store_true",
+                             help="with --slowlog: omit the span-tree exemplars")
 
     sub.add_parser("version", help="print the package version")
 
@@ -616,6 +684,9 @@ def _serve_socket(args: argparse.Namespace, out) -> int:
         default_workspace=args.workspace,
         log_level=args.log_level,
         trace_dir=args.trace_dir,
+        slowlog=not args.no_slowlog,
+        slowlog_threshold_ms=args.slowlog_threshold_ms,
+        slowlog_capacity=args.slowlog_capacity,
     )
     if args.file is not None:
         handle = server.registry.handle(args.workspace)
@@ -659,7 +730,9 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         return _serve_socket(args, out)
 
     for flag, value in (("--log-level", args.log_level if args.log_level != "quiet" else None),
-                        ("--trace-dir", args.trace_dir)):
+                        ("--trace-dir", args.trace_dir),
+                        ("--slowlog-threshold-ms", args.slowlog_threshold_ms),
+                        ("--no-slowlog", args.no_slowlog or None)):
         if value:
             raise ReproError(
                 f"{flag} is a socket-mode flag and has no effect without --port"
@@ -820,12 +893,22 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace, out) -> int:
-    """Scrape a live socket server's ``metrics`` method."""
+    """Scrape a live socket server: ``metrics``, ``--slowlog``, or ``--health``."""
     import json
     import socket as socket_module
 
     from repro.obs.export import render_prometheus
 
+    if args.slowlog and args.health:
+        raise ReproError("--slowlog and --health are mutually exclusive")
+    request: dict = {"id": 1, "method": "metrics"}
+    if args.slowlog:
+        params: dict = {"traces": not args.no_traces}
+        if args.limit is not None:
+            params["limit"] = args.limit
+        request = {"id": 1, "method": "slowlog", "params": params}
+    elif args.health:
+        request = {"id": 1, "method": "health"}
     try:
         conn = socket_module.create_connection((args.host, args.port), timeout=10.0)
     except OSError as error:
@@ -839,17 +922,149 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
         if "hello" not in hello:
             out.write(f"error: unexpected greeting: {hello}\n")
             return 2
-        wfile.write(json.dumps({"id": 1, "method": "metrics"}) + "\n")
+        wfile.write(json.dumps(request) + "\n")
         wfile.flush()
         response = json.loads(rfile.readline())
     if not response.get("ok"):
         out.write(f"error: {response.get('error')}\n")
         return 2
     result = response["result"]
-    if args.prometheus:
+    if args.prometheus and not (args.slowlog or args.health):
         out.write(render_prometheus(result))
     else:
         out.write(json.dumps(result, sort_keys=True, indent=2) + "\n")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:
+    """Traced + sampled one-shot analysis: the CLI face of the profiler."""
+    import json
+
+    from repro.obs import start_trace
+    from repro.obs.export import chrome_trace_document
+    from repro.obs.profile import (
+        SamplingProfiler,
+        attach_profile_to_chrome,
+        flamegraph_html,
+        flamegraph_svg,
+    )
+    from repro.service.session import AnalysisSession
+
+    session = AnalysisSession(local_crate=args.local_crate)
+    config = _config_from_args(args)
+    profiler = SamplingProfiler(hz=args.hz, code_frames=args.code_frames)
+    with profiler:
+        with start_trace("analyze") as trace:
+            session.open_unit("main", _read_source(args.file))
+            session.analyze(function=args.function, config=config)
+    if trace is None:
+        out.write("error: observability is disabled in this process\n")
+        return 2
+    profile = profiler.profile
+    if args.json:
+        out.write(json.dumps(profile.to_dict(), sort_keys=True) + "\n")
+    else:
+        out.write(
+            "profiled {} at {:g}hz: {} samples over {:.3f}s\n".format(
+                args.file, profiler.hz, profile.total_samples, profile.duration_seconds
+            )
+        )
+        for name, fraction in sorted(
+            profile.root_attribution().items(), key=lambda kv: -kv[1]
+        ):
+            out.write(f"  {100 * fraction:5.1f}%  {name}\n")
+        top = sorted(profile.counts.items(), key=lambda kv: -kv[1])[:10]
+        if top:
+            out.write("hottest stacks:\n")
+            for stack, count in top:
+                out.write(f"  {count:5d}  {';'.join(stack)}\n")
+    if args.collapsed:
+        path = Path(args.collapsed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(profile.to_collapsed(), encoding="utf-8")
+        out.write(f"collapsed stacks written to {path}\n")
+    if args.flame:
+        path = Path(args.flame)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        title = f"repro profile: {args.file}"
+        if path.suffix.lower() in (".html", ".htm"):
+            path.write_text(flamegraph_html(profile, title=title), encoding="utf-8")
+        else:
+            path.write_text(flamegraph_svg(profile, title=title), encoding="utf-8")
+        out.write(f"flamegraph written to {path}\n")
+    if args.chrome:
+        document = chrome_trace_document(trace)
+        attach_profile_to_chrome(document, profile, base_ns=trace.root.start_ns)
+        path = Path(args.chrome)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+        out.write(f"chrome trace (with samples) written to {path}\n")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    """``repro bench`` family: run the suite, report trajectories, backfill."""
+    import json
+    import time
+
+    from repro.eval.bench import (
+        bench_report,
+        new_run_id,
+        record_run,
+        render_bench_report,
+        run_suite,
+    )
+    from repro.obs.history import HistoryLedger, backfill_reports
+
+    ledger = HistoryLedger(args.ledger_dir)
+    command = getattr(args, "bench_command", None)
+
+    if command == "report":
+        report = bench_report(ledger)
+        if args.json:
+            out.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
+        else:
+            out.write(render_bench_report(report) + "\n")
+        if args.gate and not report["gate"]["ok"]:
+            return 1
+        return 0
+
+    if command == "backfill":
+        appended = backfill_reports(
+            args.report_dir, ledger, run_id=new_run_id(), timestamp=time.time()
+        )
+        out.write(
+            json.dumps(
+                {"backfilled": appended, "ledger": str(ledger.path)}, sort_keys=True
+            )
+            + "\n"
+        )
+        return 0
+
+    started = time.perf_counter()
+    try:
+        metrics, config = run_suite(scale=args.scale, only=args.only)
+    except KeyError as error:
+        raise ReproError(str(error).strip('"').strip("'")) from error
+    run_id, appended = record_run(
+        ledger, metrics, timestamp=time.time(), run_id=args.run_id, config=config
+    )
+    out.write(
+        json.dumps(
+            {
+                "run_id": run_id,
+                "records": appended,
+                "suite": config["suite"],
+                "scale": config["scale"],
+                "duration_seconds": round(time.perf_counter() - started, 3),
+                "ledger": str(ledger.path),
+                "metrics": {name: round(value, 6) for name, value in sorted(metrics.items())},
+            },
+            sort_keys=True,
+            indent=2,
+        )
+        + "\n"
+    )
     return 0
 
 
@@ -865,6 +1080,8 @@ _HANDLERS = {
     "experiment": cmd_experiment,
     "serve": cmd_serve,
     "trace": cmd_trace,
+    "profile": cmd_profile,
+    "bench": cmd_bench,
     "metrics": cmd_metrics,
     "workspace": cmd_workspace,
     "version": cmd_version,

@@ -100,6 +100,16 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     (:mod:`repro.eval.perf`), the load harness (:mod:`repro.eval.load`) and
     the benchmark suite.  Nearest-rank keeps every reported value an actual
     observed sample, which matters when tails are sparse.
+
+    Total on degenerate input, by contract:
+
+    * empty ``samples`` → ``0.0`` (never an ``IndexError``),
+    * a single sample → that sample, for every ``fraction``,
+    * ``fraction`` outside ``[0, 1]`` → clamped to the min/max sample.
+
+    For non-empty input the result is always one of the samples, lies
+    between ``min(samples)`` and ``max(samples)``, and is monotone in
+    ``fraction`` — the invariants pinned by ``tests/test_stats.py``.
     """
     if not samples:
         return 0.0
@@ -117,6 +127,10 @@ def latency_summary_ms(
 
     Takes samples in *seconds* (what ``time.perf_counter`` differences give)
     and reports milliseconds, the unit every harness table prints.
+
+    Total like :func:`percentile`: an empty input yields every requested
+    key with value ``0.0``, and a single sample yields that sample (in ms)
+    at every key — so report renderers never special-case empty windows.
     """
     ordered = sorted(samples_seconds)
     return {

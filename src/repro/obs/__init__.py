@@ -11,6 +11,16 @@ Three pieces, one import surface:
 * :mod:`repro.obs.export` — Prometheus text exposition, Chrome trace-event
   JSON, and rotated per-request trace files.
 
+Plus the performance observatory built on top of them:
+
+* :mod:`repro.obs.profile` — a sampling profiler attributing wall-time to
+  span stacks, with collapsed-stack/flamegraph/Chrome-sample exports.
+* :mod:`repro.obs.history` — the append-only benchmark ledger behind
+  ``repro bench`` and its regression verdicts.
+* :mod:`repro.obs.slowlog` — tail-sampled slow-request exemplars and the
+  per-method health windows behind the server's ``slowlog``/``health``
+  methods.
+
 ``set_enabled(False)`` is the global kill switch; the disabled-path cost is
 gated (≤5% on the fig2 workload) by ``benchmarks/test_obs_overhead.py``.
 ``docs/OBSERVABILITY.md`` catalogues every span and metric this package
@@ -23,6 +33,12 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from repro.obs.history import (
+    BenchRecord,
+    HistoryLedger,
+    MetricPolicy,
+    evaluate_metric,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -30,6 +46,13 @@ from repro.obs.metrics import (
     series_name,
     snapshot_delta,
 )
+from repro.obs.profile import (
+    Profile,
+    SamplingProfiler,
+    flamegraph_html,
+    flamegraph_svg,
+)
+from repro.obs.slowlog import HealthTracker, SlowLog
 from repro.obs.state import is_enabled, set_enabled
 from repro.obs.trace import (
     Span,
@@ -42,10 +65,20 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BenchRecord",
+    "HealthTracker",
+    "HistoryLedger",
+    "MetricPolicy",
     "MetricsRegistry",
+    "Profile",
+    "SamplingProfiler",
+    "SlowLog",
     "Span",
     "Trace",
     "active_span",
+    "evaluate_metric",
+    "flamegraph_html",
+    "flamegraph_svg",
     "get_registry",
     "is_enabled",
     "new_trace_id",

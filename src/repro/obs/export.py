@@ -15,7 +15,7 @@ import threading
 from pathlib import Path
 from typing import List, Optional, Union
 
-from repro.obs.metrics import parse_series
+from repro.obs.metrics import escape_label_value, parse_series
 from repro.obs.trace import Trace
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
@@ -29,7 +29,9 @@ def _prom_name(name: str) -> str:
 def _prom_labels(labels: dict) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -39,29 +41,47 @@ def render_prometheus(snapshot: dict) -> str:
     Counter and gauge series render verbatim; histograms expand into the
     conventional ``_bucket``/``_sum``/``_count`` triple with cumulative
     ``le`` buckets and the implicit ``+Inf``.
-    """
-    lines: List[str] = []
-    typed: set = set()
 
-    def header(name: str, kind: str) -> None:
-        if name not in typed:
-            typed.add(name)
-            lines.append(f"# TYPE {name} {kind}")
+    Hardened per the exposition-format contract: label values are
+    backslash-escaped (``\\``, ``"``, newline), and series are *grouped by
+    family* — each family renders as one ``# TYPE`` line followed by every
+    one of its series, even when the snapshot interleaves series of
+    different families.  A family keeps the kind it was first seen with;
+    a same-named series of a different kind is dropped rather than
+    emitted under a contradictory ``# TYPE``.
+    """
+    # family name -> (kind, [series lines]); insertion-ordered, so output
+    # order follows first appearance in the snapshot.
+    families: "dict[str, tuple[str, List[str]]]" = {}
+
+    def family(name: str, kind: str) -> Optional[List[str]]:
+        known = families.get(name)
+        if known is None:
+            lines: List[str] = []
+            families[name] = (kind, lines)
+            return lines
+        if known[0] != kind:
+            return None
+        return known[1]
 
     for series, value in snapshot.get("counters", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        header(prom, "counter")
-        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+        lines = family(prom, "counter")
+        if lines is not None:
+            lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
     for series, value in snapshot.get("gauges", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        header(prom, "gauge")
-        lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
+        lines = family(prom, "gauge")
+        if lines is not None:
+            lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
     for series, hist in snapshot.get("histograms", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        header(prom, "histogram")
+        lines = family(prom, "histogram")
+        if lines is None:
+            continue
         for bound, cumulative in hist.get("buckets", []):
             bucket_labels = dict(labels, le=f"{bound:g}")
             lines.append(f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}")
@@ -69,7 +89,12 @@ def render_prometheus(snapshot: dict) -> str:
         lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {hist.get('count', 0)}")
         lines.append(f"{prom}_sum{_prom_labels(labels)} {hist.get('sum', 0.0):g}")
         lines.append(f"{prom}_count{_prom_labels(labels)} {hist.get('count', 0)}")
-    return "\n".join(lines) + "\n"
+
+    out: List[str] = []
+    for name, (kind, lines) in families.items():
+        out.append(f"# TYPE {name} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + "\n"
 
 
 def chrome_trace_document(trace: Trace) -> dict:

@@ -40,26 +40,75 @@ COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233)
 _SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value (the Prometheus text-format rules)."""
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
 def series_name(name: str, labels: Dict[str, str]) -> str:
-    """The canonical ``name{k="v",...}`` rendering of one series."""
+    """The canonical ``name{k="v",...}`` rendering of one series.
+
+    Label values are escaped (``\\``, ``"``, newline), so any string —
+    including adversarial ones carrying quotes or commas — round-trips
+    through :func:`parse_series`.
+    """
     if not labels:
         return name
-    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
     return f"{name}{{{body}}}"
 
 
 def parse_series(series: str) -> Tuple[str, Dict[str, str]]:
-    """Invert :func:`series_name` (labels are repo-controlled identifiers,
-    so the grammar is the simple one: no quotes or commas inside values)."""
+    """Invert :func:`series_name`, quote- and escape-aware.
+
+    Values produced by :func:`series_name` are quoted with backslash
+    escapes; the scanner honours them, so commas, quotes, braces, and
+    newlines inside values parse back exactly.  Legacy unquoted values
+    (pre-escaping snapshots) still parse as a fallback.
+    """
     if "{" not in series:
         return series, {}
     name, _, rest = series.partition("{")
+    body = rest[:-1] if rest.endswith("}") else rest
     labels: Dict[str, str] = {}
-    for pair in rest.rstrip("}").split(","):
-        if not pair:
-            continue
-        key, _, value = pair.partition("=")
-        labels[key] = value.strip('"')
+    index, length = 0, len(body)
+    while index < length:
+        equals = body.find("=", index)
+        if equals == -1:
+            break
+        key = body[index:equals]
+        index = equals + 1
+        if index < length and body[index] == '"':
+            index += 1
+            chars: List[str] = []
+            while index < length:
+                char = body[index]
+                if char == "\\" and index + 1 < length:
+                    escaped = body[index + 1]
+                    chars.append(_UNESCAPE.get(escaped, "\\" + escaped))
+                    index += 2
+                    continue
+                if char == '"':
+                    index += 1
+                    break
+                chars.append(char)
+                index += 1
+            labels[key] = "".join(chars)
+        else:
+            comma = body.find(",", index)
+            if comma == -1:
+                comma = length
+            labels[key] = body[index:comma].strip('"')
+            index = comma
+        if index < length and body[index] == ",":
+            index += 1
     return name, labels
 
 

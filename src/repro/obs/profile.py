@@ -1,0 +1,406 @@
+"""Sampling profiler: where wall-time goes, attributed to span stacks.
+
+A :class:`SamplingProfiler` runs a daemon thread that wakes ``hz`` times a
+second and records, for each profiled thread, the stack of *span names*
+currently open on that thread (published by :mod:`repro.obs.trace` while a
+profiler is attached).  Samples taken while no trace is active land under
+the synthetic ``(untraced)`` root, so the profile always accounts for 100%
+of observed wall-time.
+
+Attributing to spans rather than raw Python frames is deliberate: the span
+catalog (``docs/OBSERVABILITY.md``) is the vocabulary the rest of the
+observability stack already speaks — the flamegraph rows line up with the
+``stage_seconds`` histogram and the in-band trace trees.  ``code_frames=True``
+additionally appends the sampled thread's in-repo Python frames below the
+span stack for finer-grained hot-spot hunting.
+
+The profiler integrates with the global kill switch: it refuses to start
+while ``repro.obs.state`` is disabled, and stops sampling if the switch is
+flipped mid-run.  When no profiler is attached the traced path pays one
+module-global read per span and the untraced path pays nothing — the ≤5%
+overhead gate in ``benchmarks/test_obs_overhead.py`` covers both.
+
+Exports: collapsed-stack text (``frame;frame;frame count`` — the format
+``flamegraph.pl`` and speedscope ingest), a standalone flamegraph as SVG or
+HTML, and a merge into a Chrome trace-event document (``stackFrames`` +
+``samples`` sections sharing the trace's clock base, so Perfetto shows the
+samples under the span rows).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import state
+from repro.obs.trace import _publish_stacks, thread_span_stack
+
+UNTRACED = "(untraced)"
+
+Stack = Tuple[str, ...]
+
+
+class Profile:
+    """An immutable-ish bag of stack samples plus their timestamps.
+
+    ``counts`` maps a root-first stack of frame names to its sample count;
+    ``events`` keeps the per-sample ``perf_counter_ns`` timestamps (bounded
+    by ``max_events``) so the profile can be merged onto a Chrome trace's
+    timeline.  Counts are never dropped — only timestamps are.
+    """
+
+    __slots__ = ("hz", "counts", "events", "started_ns", "ended_ns", "max_events", "dropped_events")
+
+    def __init__(self, hz: float = 0.0, max_events: int = 100_000):
+        self.hz = hz
+        self.counts: Dict[Stack, int] = {}
+        self.events: List[Tuple[int, Stack]] = []
+        self.started_ns: Optional[int] = None
+        self.ended_ns: Optional[int] = None
+        self.max_events = max_events
+        self.dropped_events = 0
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def duration_seconds(self) -> float:
+        if self.started_ns is None or self.ended_ns is None:
+            return 0.0
+        return (self.ended_ns - self.started_ns) / 1e9
+
+    def add(self, stack: Stack, ts_ns: Optional[int] = None) -> None:
+        if not stack:
+            stack = (UNTRACED,)
+        self.counts[stack] = self.counts.get(stack, 0) + 1
+        if ts_ns is not None:
+            if len(self.events) < self.max_events:
+                self.events.append((ts_ns, stack))
+            else:
+                self.dropped_events += 1
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+
+    def root_attribution(self) -> Dict[str, float]:
+        """Fraction of samples per root frame name (sums to 1.0 when any)."""
+        total = self.total_samples
+        if total == 0:
+            return {}
+        by_root: Dict[str, int] = {}
+        for stack, count in self.counts.items():
+            by_root[stack[0]] = by_root.get(stack[0], 0) + count
+        return {name: count / total for name, count in sorted(by_root.items())}
+
+    def attributed_fraction(self, names: Iterable[str]) -> float:
+        """Fraction of samples whose root frame is one of ``names``."""
+        wanted = set(names)
+        return sum(
+            fraction for name, fraction in self.root_attribution().items() if name in wanted
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_collapsed(self) -> str:
+        """Collapsed-stack text: one ``frame;frame;frame count`` line per stack.
+
+        Frame names have ``;`` and newlines replaced (they would corrupt the
+        format); lines are sorted so output is deterministic.
+        """
+        lines = []
+        for stack, count in sorted(self.counts.items()):
+            frames = ";".join(_collapse_frame(frame) for frame in stack)
+            lines.append(f"{frames} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_collapsed(cls, text: str, hz: float = 0.0) -> "Profile":
+        profile = cls(hz=hz)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            frames, _, count = line.rpartition(" ")
+            if not frames or not count.isdigit():
+                continue
+            stack = tuple(frames.split(";"))
+            profile.counts[stack] = profile.counts.get(stack, 0) + int(count)
+        return profile
+
+    def to_dict(self) -> dict:
+        return {
+            "hz": self.hz,
+            "total_samples": self.total_samples,
+            "duration_seconds": round(self.duration_seconds, 6),
+            "dropped_events": self.dropped_events,
+            "stacks": [
+                {"frames": list(stack), "count": count}
+                for stack, count in sorted(self.counts.items())
+            ],
+            "root_attribution": {
+                name: round(fraction, 6)
+                for name, fraction in self.root_attribution().items()
+            },
+        }
+
+
+def _collapse_frame(frame: str) -> str:
+    return frame.replace(";", ":").replace("\n", " ")
+
+
+class SamplingProfiler:
+    """Timer-driven span-stack sampler; use as a context manager.
+
+    ``hz`` picks the sampling rate (97 by default — a prime, so the sampler
+    does not phase-lock with millisecond-periodic work).  ``thread_ids``
+    selects which threads to sample; the default is the thread that calls
+    :meth:`start`, which keeps attribution crisp for CLI workloads.
+
+    The kill switch wins: when ``repro.obs`` is disabled the profiler
+    neither publishes span stacks nor starts its thread, and a mid-run
+    ``set_enabled(False)`` stops sampling at the next tick.
+    """
+
+    def __init__(
+        self,
+        hz: float = 97.0,
+        thread_ids: Optional[Iterable[int]] = None,
+        code_frames: bool = False,
+        max_events: int = 100_000,
+    ):
+        self.hz = max(1.0, float(hz))
+        self._explicit_threads = tuple(thread_ids) if thread_ids is not None else None
+        self.code_frames = code_frames
+        self.profile = Profile(hz=self.hz, max_events=max_events)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._started:
+            return self
+        if not state.ENABLED:
+            # Kill switch: stay inert — an empty profile, no thread, no
+            # span-stack publication.
+            return self
+        self._started = True
+        self._targets = self._explicit_threads or (threading.get_ident(),)
+        _publish_stacks(True)
+        self.profile.started_ns = time.perf_counter_ns()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        if self._started:
+            self._stop.set()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+            self.profile.ended_ns = time.perf_counter_ns()
+            _publish_stacks(False)
+            self._started = False
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- sampling loop -------------------------------------------------
+
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        while not self._stop.wait(interval):
+            if not state.ENABLED:  # kill switch flipped mid-run
+                break
+            ts = time.perf_counter_ns()
+            frames = sys._current_frames() if self.code_frames else None
+            for tid in self._targets:
+                stack: Stack = thread_span_stack(tid)
+                if frames is not None:
+                    stack = stack + _repro_code_frames(frames.get(tid))
+                self.profile.add(stack, ts)
+
+
+def _repro_code_frames(frame, limit: int = 48) -> Stack:
+    """In-repo Python frames of one sampled thread, outermost first."""
+    names: List[str] = []
+    while frame is not None and len(names) < limit:
+        filename = frame.f_code.co_filename
+        if "repro" in filename and "profile.py" not in filename:
+            names.append("py:" + frame.f_code.co_name)
+        frame = frame.f_back
+    return tuple(reversed(names))
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph rendering
+# ---------------------------------------------------------------------------
+
+
+class _FrameNode:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.children: Dict[str, "_FrameNode"] = {}
+
+
+def _build_trie(profile: Profile) -> _FrameNode:
+    root = _FrameNode("all")
+    for stack, count in sorted(profile.counts.items()):
+        root.count += count
+        node = root
+        for frame in stack:
+            child = node.children.get(frame)
+            if child is None:
+                child = node.children[frame] = _FrameNode(frame)
+            child.count += count
+            node = child
+    return root
+
+
+def _frame_color(name: str) -> str:
+    """Deterministic warm palette: same frame, same color, any process."""
+    digest = zlib.crc32(name.encode("utf-8"))
+    hue = digest % 55  # red..yellow band
+    lightness = 48 + (digest >> 8) % 12
+    return f"hsl({hue},72%,{lightness}%)"
+
+
+def _svg_escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;").replace('"', "&quot;")
+    )
+
+
+def flamegraph_svg(
+    profile: Profile, title: str = "repro profile", width: int = 1200
+) -> str:
+    """A standalone flamegraph SVG (icicle layout: root row on top).
+
+    Rect widths are proportional to sample counts; every rect carries a
+    ``<title>`` tooltip with the frame name, sample count, and percentage.
+    Rendering is deterministic — same profile, byte-identical SVG.
+    """
+    root = _build_trie(profile)
+    row_height = 18
+    total = max(1, root.count)
+
+    def depth_of(node: _FrameNode) -> int:
+        if not node.children:
+            return 1
+        return 1 + max(depth_of(child) for child in node.children.values())
+
+    depth = depth_of(root)
+    height = (depth + 2) * row_height + 8
+    rects: List[str] = []
+
+    def emit(node: _FrameNode, x: float, level: int) -> None:
+        w = width * node.count / total
+        if w < 0.25:
+            return
+        pct = 100.0 * node.count / total
+        label = _svg_escape(node.name)
+        y = (level + 1) * row_height + 4
+        rects.append(
+            f'<g><rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{row_height - 1}" '
+            f'fill="{_frame_color(node.name)}" rx="1">'
+            f"<title>{label} — {node.count} samples ({pct:.1f}%)</title></rect>"
+        )
+        if w > 30:
+            text = label if len(label) * 7 < w else label[: max(1, int(w / 7) - 1)] + "…"
+            rects.append(
+                f'<text x="{x + 3:.2f}" y="{y + row_height - 5}" '
+                f'font-size="11" font-family="monospace">{_svg_escape(text)}</text>'
+            )
+        rects.append("</g>")
+        cx = x
+        for child in sorted(node.children.values(), key=lambda n: n.name):
+            emit(child, cx, level + 1)
+            cx += width * child.count / total
+
+    emit(root, 0.0, 0)
+    header = (
+        f'<text x="4" y="14" font-size="12" font-family="monospace">'
+        f"{_svg_escape(title)} — {profile.total_samples} samples"
+        f"{'' if not profile.duration_seconds else f' over {profile.duration_seconds:.2f}s'}"
+        f"</text>"
+    )
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<rect width="100%" height="100%" fill="#fdfdf6"/>{header}{"".join(rects)}</svg>'
+    )
+
+
+def flamegraph_html(profile: Profile, title: str = "repro profile") -> str:
+    """The SVG flamegraph wrapped in a minimal standalone HTML page."""
+    svg = flamegraph_svg(profile, title=title)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+        f"<title>{_svg_escape(title)}</title></head>\n"
+        f"<body style=\"margin:0;background:#fdfdf6\">{svg}</body></html>\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace merge
+# ---------------------------------------------------------------------------
+
+
+def attach_profile_to_chrome(
+    document: dict, profile: Profile, base_ns: Optional[int] = None
+) -> dict:
+    """Merge a profile into a Chrome trace-event document, in place.
+
+    Adds the ``stackFrames`` table and ``samples`` array of the Chrome
+    object format.  ``base_ns`` is the ``perf_counter_ns`` origin of the
+    document's ``traceEvents`` timestamps (the trace root's ``start_ns``);
+    it defaults to the profile's own start so a profile also stands alone.
+    """
+    base = base_ns if base_ns is not None else (profile.started_ns or 0)
+    frame_ids: Dict[Stack, str] = {}
+    stack_frames: Dict[str, dict] = {}
+
+    def intern(stack: Stack) -> str:
+        known = frame_ids.get(stack)
+        if known is not None:
+            return known
+        frame = {"name": stack[-1], "category": "repro"}
+        if len(stack) > 1:
+            frame["parent"] = intern(stack[:-1])
+        fid = str(len(stack_frames) + 1)
+        stack_frames[fid] = frame
+        frame_ids[stack] = fid
+        return fid
+
+    samples = []
+    for ts_ns, stack in profile.events:
+        samples.append(
+            {
+                "cpu": 0,
+                "tid": 1,
+                "ts": round((ts_ns - base) / 1e3, 3),
+                "name": "sample",
+                "sf": intern(stack),
+                "weight": 1,
+            }
+        )
+    document["stackFrames"] = stack_frames
+    document["samples"] = samples
+    return document

@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import QueryError
 from repro.obs import get_registry, new_trace_id, start_trace
 from repro.obs.export import TraceDirWriter
+from repro.obs.slowlog import HealthTracker, SlowLog
 from repro.service.locks import RWLock
 from repro.service.persist import has_workspace, open_or_create_workspace, save_workspace
 from repro.service.protocol import AnalysisService
@@ -64,6 +65,10 @@ ACCESS_LOG = logging.getLogger("repro.access")
 # Methods that mutate the shared workspace and therefore take the write side
 # of the session's RW lock; everything else is a concurrent read.
 NDJSON_WRITE_METHODS = frozenset({"open", "update", "close", "warm"})
+
+# Sentinel default for ConnectionHandler's slow_log/health parameters:
+# "create a private instance" — distinct from an explicit None ("disabled").
+_CREATE: object = object()
 JSONRPC_WRITE_METHODS = frozenset(
     {"textDocument/didOpen", "textDocument/didChange", "textDocument/didClose"}
 )
@@ -215,11 +220,17 @@ class ConnectionHandler:
     each incoming line to the right dialect, and wraps the dispatch in the
     workspace's read or write lock according to the method.
 
-    One mux-level NDJSON method exists on top of the two dialects:
+    Three mux-level NDJSON methods exist on top of the two dialects:
     ``{"method": "workspace", "params": {"name": ...}}`` switches this
     connection to another (shared) workspace — the name must be live or
     saved unless ``"create": true`` is passed (so a typo cannot silently
     spawn an empty workspace); without ``name`` it reports the current one.
+    ``{"method": "slowlog"}`` returns the retained slow-request exemplars
+    (tail-based trace sampling — see :mod:`repro.obs.slowlog`), and
+    ``{"method": "health"}`` the uptime/error-rate/per-method-latency
+    summary.  Both read state shared across every connection when the
+    server injects its ``slow_log``/``health``; a directly-constructed
+    handler gets private instances so the mux is self-contained.
     """
 
     def __init__(
@@ -229,11 +240,17 @@ class ConnectionHandler:
         on_mutation: Optional[Callable[[SessionHandle], None]] = None,
         log_level: str = "quiet",
         trace_writer: Optional[TraceDirWriter] = None,
+        slow_log: Optional[SlowLog] = _CREATE,
+        health: Optional[HealthTracker] = _CREATE,
+        server_stats: Optional[Callable[[], dict]] = None,
     ):
         self.registry = registry
         self.on_mutation = on_mutation if on_mutation is not None else registry.note_mutation
         self.log_level = log_level
         self.trace_writer = trace_writer
+        self.slow_log = SlowLog() if slow_log is _CREATE else slow_log
+        self.health = HealthTracker() if health is _CREATE else health
+        self.server_stats = server_stats
         self._bind(registry.handle(workspace))
 
     def _bind(self, handle: SessionHandle) -> None:
@@ -301,6 +318,41 @@ class ConnectionHandler:
             }
         return {"id": request.get("id"), "ok": True, "result": result}
 
+    def _slowlog_response(self, request: dict) -> dict:
+        if self.slow_log is None:
+            return {
+                "id": request.get("id"),
+                "ok": False,
+                "error": "slow-request log disabled on this server",
+                "error_code": "slowlog_disabled",
+            }
+        params = request.get("params") or {}
+        limit = params.get("limit") if isinstance(params, dict) else None
+        include = params.get("traces", True) if isinstance(params, dict) else True
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "result": self.slow_log.snapshot(
+                limit=int(limit) if isinstance(limit, int) else None,
+                include_traces=bool(include),
+            ),
+        }
+
+    def _health_response(self, request: dict) -> dict:
+        extra = {"inflight": 0}
+        if self.server_stats is not None:
+            stats = self.server_stats()
+            extra = {
+                "inflight": stats.get("inflight", 0),
+                "open_connections": stats.get("open_connections", 0),
+                "draining": stats.get("draining", False),
+            }
+        return {
+            "id": request.get("id"),
+            "ok": True,
+            "result": self.health.snapshot(extra=extra),
+        }
+
     def handle_message(self, message: dict) -> Optional[dict]:
         """Dispatch one parsed message under the appropriate lock."""
         handle = self.handle_ref
@@ -311,10 +363,17 @@ class ConnectionHandler:
                 if write:
                     self.on_mutation(handle)
             return response
-        if message.get("method") == "workspace":
+        method = message.get("method")
+        if method in ("workspace", "slowlog", "health"):
+            # Mux-level methods: no workspace lock — they touch connection
+            # or telemetry state only, never a session.
             get_registry().counter(
-                "requests_total", method="workspace", protocol="mux", status="ok"
+                "requests_total", method=str(method), protocol="mux", status="ok"
             ).inc()
+            if method == "slowlog":
+                return self._slowlog_response(message)
+            if method == "health":
+                return self._health_response(message)
             return self._switch_workspace(message)
         with handle.lock.locked(write):
             response = self.ndjson.handle(message)
@@ -335,8 +394,11 @@ class ConnectionHandler:
 
         The connection-level telemetry wrapper: stamps a ``trace_id`` into
         the message (inner dialects echo it), traces the request when a
-        ``--trace-dir`` writer is attached, and emits one structured access
-        log line unless the log level is ``quiet``.
+        ``--trace-dir`` writer is attached *or* a slow log wants tail
+        exemplars, feeds the health tracker, and emits one structured
+        access log line unless the log level is ``quiet``.  Tail-based
+        sampling means every request is traced but the span tree is
+        *retained* only when the slow log judges the request slow.
         """
         try:
             message = json.loads(line)
@@ -360,17 +422,35 @@ class ConnectionHandler:
         method = message.get("method")
         workspace = self.handle_ref.name
         started = time.perf_counter()
-        if self.trace_writer is not None:
+        if self.trace_writer is not None or self.slow_log is not None:
             # A client-requested in-band trace ("trace": true) opens its own
             # nested trace; the server-side file then only covers the mux.
             with start_trace(
                 method if isinstance(method, str) else "invalid", trace_id=trace_id
             ) as trace:
                 response = self.handle_message(message)
-            self.trace_writer.write(trace)
+            if self.trace_writer is not None:
+                self.trace_writer.write(trace)
         else:
+            trace = None
             response = self.handle_message(message)
         duration_ms = (time.perf_counter() - started) * 1e3
+        status = self._response_status(response)
+        if self.health is not None:
+            self.health.observe(
+                method if isinstance(method, str) else None,
+                duration_ms,
+                ok=status == "ok",
+            )
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                method if isinstance(method, str) else None,
+                duration_ms,
+                trace_id=trace_id,
+                status=status,
+                workspace=workspace,
+                trace=trace.to_dict() if trace is not None else None,
+            )
         if response is not None and "trace_id" not in response:
             response["trace_id"] = trace_id
         if self.log_level != "quiet":
@@ -380,7 +460,7 @@ class ConnectionHandler:
                         "trace_id": trace_id,
                         "method": method if isinstance(method, str) else None,
                         "workspace": workspace,
-                        "status": self._response_status(response),
+                        "status": status,
                         "duration_ms": round(duration_ms, 3),
                     },
                     sort_keys=True,
@@ -418,6 +498,9 @@ class ThreadedAnalysisServer:
         default_workspace: str = "default",
         log_level: str = "quiet",
         trace_dir: Optional[str] = None,
+        slowlog: bool = True,
+        slowlog_threshold_ms: Optional[float] = None,
+        slowlog_capacity: int = 32,
     ):
         self.registry = WorkspaceRegistry(
             persist_dir=persist_dir, max_entries=max_entries, local_crate=local_crate
@@ -425,6 +508,15 @@ class ThreadedAnalysisServer:
         self.default_workspace = default_workspace
         self.log_level = log_level
         self.trace_writer = TraceDirWriter(trace_dir) if trace_dir else None
+        # One slow log + health tracker shared by every connection, so
+        # `slowlog`/`health` answer for the whole server regardless of
+        # which connection asks.
+        self.slow_log = (
+            SlowLog(capacity=slowlog_capacity, threshold_ms=slowlog_threshold_ms)
+            if slowlog
+            else None
+        )
+        self.health = HealthTracker()
         self.workers = max(1, workers)
         self._listener = socket.create_server((host, port), backlog=128)
         self.host, self.port = self._listener.getsockname()[:2]
@@ -604,6 +696,9 @@ class ThreadedAnalysisServer:
                     self.default_workspace,
                     log_level=self.log_level,
                     trace_writer=self.trace_writer,
+                    slow_log=self.slow_log,
+                    health=self.health,
+                    server_stats=self.stats,
                 )
             except Exception as error:
                 emit({

@@ -203,6 +203,7 @@ def test_experiment_command_small_scale():
 ALL_SUBCOMMANDS = [
     "mir", "analyze", "slice", "focus", "stats", "ifc", "fuzz", "corpus",
     "experiment", "serve", "workspace", "version", "query", "trace", "metrics",
+    "profile", "bench",
 ]
 
 
@@ -414,3 +415,210 @@ def test_metrics_command_without_server_is_clean_error():
     code, output = run_cli("metrics", "--port", "1")  # nothing listens there
     assert code == 2
     assert "error" in output and "cannot connect" in output
+
+
+# ---------------------------------------------------------------------------
+# profile / bench (the performance observatory surfaces)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def big_source_file(tmp_path):
+    """A corpus large enough that one-shot analysis outlives a few sampler
+    ticks at 1000hz (the tiny Figure-1 program analyses in ~4ms)."""
+    functions = "\n".join(
+        f"""
+fn work_{i}(a: u32, b: u32) -> u32 {{
+    let x = a + b;
+    let y = x + a;
+    let z = y + b;
+    let w = z + x;
+    w + y + work_helper_{i}(x, z)
+}}
+
+fn work_helper_{i}(p: u32, q: u32) -> u32 {{
+    let m = p + q;
+    let n = m + p;
+    n + q
+}}
+"""
+        for i in range(40)
+    )
+    path = tmp_path / "big.mrs"
+    path.write_text(functions, encoding="utf-8")
+    return str(path)
+
+
+def test_profile_command_text_and_artifacts(tmp_path, big_source_file):
+    import json
+
+    source_file = big_source_file
+    flame = tmp_path / "flame.svg"
+    collapsed = tmp_path / "stacks.txt"
+    chrome = tmp_path / "chrome.json"
+    code, output = run_cli(
+        "profile", source_file, "--hz", "1000",
+        "--flame", str(flame), "--collapsed", str(collapsed),
+        "--chrome", str(chrome),
+    )
+    assert code == 0
+    assert "profiled" in output and "samples" in output
+    assert "%" in output  # root attribution table
+
+    svg = flame.read_text(encoding="utf-8")
+    assert svg.startswith("<svg ") and "samples" in svg
+
+    for line in collapsed.read_text(encoding="utf-8").splitlines():
+        frames, _, count = line.rpartition(" ")
+        assert frames and count.isdigit()
+
+    document = json.loads(chrome.read_text(encoding="utf-8"))
+    assert "traceEvents" in document
+    assert "stackFrames" in document and "samples" in document
+    # Merged samples reference interned stack frames on the trace's clock.
+    for sample in document["samples"]:
+        assert sample["sf"] in document["stackFrames"]
+
+
+def test_profile_command_html_flame_and_json(tmp_path, source_file):
+    import json
+
+    flame = tmp_path / "flame.html"
+    code, output = run_cli(
+        "profile", source_file, "--json", "--flame", str(flame)
+    )
+    assert code == 0
+    profile = json.loads(output.splitlines()[0])
+    assert profile["total_samples"] >= 0
+    assert "root_attribution" in profile and "stacks" in profile
+    html = flame.read_text(encoding="utf-8")
+    assert html.startswith("<!DOCTYPE html>") and "<svg " in html
+
+
+def test_bench_run_twice_then_report_trends(tmp_path):
+    import json
+
+    ledger_dir = str(tmp_path / "history")
+    for _ in range(2):
+        code, output = run_cli(
+            "bench", "--ledger-dir", ledger_dir, "--scale", "0.02",
+            "--only", "theta_join",
+        )
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["suite"] == ["theta_join"]
+        assert summary["records"] == 3
+        assert summary["metrics"]["theta_join.speedup"] > 0
+
+    code, output = run_cli("bench", "--ledger-dir", ledger_dir, "report")
+    assert code == 0
+    assert "theta_join.speedup" in output
+    assert "gate:" in output
+
+    code, output = run_cli(
+        "bench", "--ledger-dir", ledger_dir, "report", "--json"
+    )
+    assert code == 0
+    report = json.loads(output)
+    by_metric = {row["metric"]: row for row in report["metrics"]}
+    assert by_metric["theta_join.speedup"]["runs"] == 2
+    # Two real timing runs on a possibly-loaded machine: the verdict is
+    # whatever the measurements say (deterministic-verdict coverage lives
+    # in test_bench_history.py and the injected-regression test below) —
+    # but the gate exit code must agree with the report's own gate block.
+    assert by_metric["theta_join.speedup"]["verdict"] in {
+        "ok", "improved", "regressed"
+    }
+    code, _output = run_cli("bench", "--ledger-dir", ledger_dir, "report", "--gate")
+    assert code == (0 if report["gate"]["ok"] else 1)
+
+
+def test_bench_gate_fails_on_injected_regression(tmp_path):
+    import json
+    import time as time_module
+
+    from repro.eval.bench import record_run
+    from repro.obs.history import HistoryLedger
+
+    ledger_dir = tmp_path / "history"
+    ledger = HistoryLedger(ledger_dir)
+    config = {"suite": ["fig2"], "scale": 0.1}
+    base = time_module.time()
+    for offset, speedup in ((0, 3.0), (10, 3.0), (20, 1.4)):  # 2x slowdown
+        record_run(
+            ledger, {"fig2.engine_speedup": speedup},
+            timestamp=base + offset, config=config,
+        )
+
+    code, output = run_cli(
+        "bench", "--ledger-dir", str(ledger_dir), "report", "--gate"
+    )
+    assert code == 1
+    assert "regressed" in output and "fig2.engine_speedup" in output
+
+    # Without --gate the same report exits zero (report-only mode).
+    code, output = run_cli("bench", "--ledger-dir", str(ledger_dir), "report")
+    assert code == 0
+    assert "gate: FAILED" in output
+
+
+def test_bench_unknown_only_name_is_clean_error(tmp_path):
+    code, output = run_cli(
+        "bench", "--ledger-dir", str(tmp_path), "--only", "nope"
+    )
+    assert code == 2
+    assert "error" in output and "nope" in output
+
+
+def test_bench_backfill_ingests_report_dir(tmp_path):
+    import json
+
+    report_dir = tmp_path / "reports"
+    report_dir.mkdir()
+    (report_dir / "obs_overhead.json").write_text(
+        json.dumps({"ratio": 1.01, "run_meta": {"duration_seconds": 2.0}}),
+        encoding="utf-8",
+    )
+    ledger_dir = tmp_path / "history"
+    code, output = run_cli(
+        "bench", "--ledger-dir", str(ledger_dir),
+        "backfill", "--report-dir", str(report_dir),
+    )
+    assert code == 0
+    assert json.loads(output)["backfilled"] == 1
+
+    code, output = run_cli(
+        "bench", "--ledger-dir", str(ledger_dir), "report", "--json"
+    )
+    assert code == 0
+    (row,) = json.loads(output)["metrics"]
+    assert row["metric"] == "obs_overhead.ratio"
+    assert row["verdict"] == "insufficient"  # one point is never judged
+
+
+def test_metrics_slowlog_and_health_flags_are_exclusive():
+    code, output = run_cli("metrics", "--port", "1", "--slowlog", "--health")
+    assert code == 2
+    assert "mutually exclusive" in output
+
+
+def test_serve_stdio_rejects_slowlog_flags(tmp_path):
+    for extra in (["--slowlog-threshold-ms", "5"], ["--no-slowlog"]):
+        code, output = run_cli("serve", *extra)
+        assert code == 2
+        assert "socket-mode flag" in output
+
+
+def test_profile_and_bench_help(capsys):
+    for name, flags in (
+        ("profile", ("--hz", "--flame", "--collapsed", "--chrome")),
+        ("bench", ("--ledger-dir", "--scale", "--only", "report", "backfill")),
+        ("metrics", ("--slowlog", "--health", "--limit", "--no-traces")),
+        ("serve", ("--slowlog-threshold-ms", "--slowlog-capacity", "--no-slowlog")),
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main([name, "--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        for flag in flags:
+            assert flag in output, f"{name} --help missing {flag}"

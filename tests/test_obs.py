@@ -242,6 +242,58 @@ class TestMetrics:
     def test_count_buckets_cover_iteration_shapes(self):
         assert COUNT_BUCKETS[0] == 1 and COUNT_BUCKETS[-1] >= 100
 
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'quo"ted',
+            "back\\slash",
+            "new\nline",
+            'all="three",\\n\n',
+            "{braces}",
+            "trailing,comma,",
+        ],
+    )
+    def test_adversarial_label_values_round_trip(self, value):
+        series = series_name("m_total", {"key": value, "plain": "x"})
+        name, labels = parse_series(series)
+        assert name == "m_total"
+        assert labels == {"key": value, "plain": "x"}
+
+    def test_adversarial_labels_render_escaped_in_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("evil_total", path='a"b\\c\nd').inc()
+        text = render_prometheus(registry.snapshot())
+        # Exposition format: backslash, quote, and newline escaped; the
+        # physical line must not be broken by the embedded newline.
+        line = [l for l in text.splitlines() if l.startswith("repro_evil_total{")]
+        assert line == ['repro_evil_total{path="a\\"b\\\\c\\nd"} 1']
+
+    def test_type_line_once_per_family_even_interleaved(self):
+        # Interleave two counter families in insertion order; each family
+        # must render as exactly one # TYPE line followed by all its series.
+        registry = MetricsRegistry()
+        registry.counter("alpha_total", kind="a").inc()
+        registry.counter("beta_total").inc()
+        registry.counter("alpha_total", kind="b").inc()
+        text = render_prometheus(registry.snapshot())
+        lines = text.splitlines()
+        assert lines.count("# TYPE repro_alpha_total counter") == 1
+        assert lines.count("# TYPE repro_beta_total counter") == 1
+        alpha_type = lines.index("# TYPE repro_alpha_total counter")
+        assert lines[alpha_type + 1].startswith("repro_alpha_total{")
+        assert lines[alpha_type + 2].startswith("repro_alpha_total{")
+
+    def test_conflicting_family_kind_is_dropped_not_contradicted(self):
+        snapshot = {
+            "counters": {"dual": 1.0},
+            "gauges": {"dual": 2.0},
+            "histograms": {},
+        }
+        text = render_prometheus(snapshot)
+        assert text.count("# TYPE repro_dual") == 1
+        assert "# TYPE repro_dual counter" in text
+        assert text.splitlines().count("repro_dual 2") == 0
+
 
 # ---------------------------------------------------------------------------
 # Request-scoped telemetry (the acceptance path)

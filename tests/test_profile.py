@@ -1,0 +1,318 @@
+"""Tests for the sampling profiler: span-stack publication, attribution,
+collapsed/flamegraph exports, the Chrome trace merge, and the kill switch."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from helpers import GET_COUNT_SOURCE
+
+from repro.core.config import MODULAR
+from repro.core.engine import FlowEngine
+from repro.lang.parser import parse_program
+from repro.lang.typeck import check_program
+from repro.obs import (
+    Profile,
+    SamplingProfiler,
+    flamegraph_html,
+    flamegraph_svg,
+    set_enabled,
+    span,
+    start_trace,
+)
+from repro.obs import trace as trace_mod
+from repro.obs.export import chrome_trace_document
+from repro.obs.profile import UNTRACED, attach_profile_to_chrome
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    set_enabled(True)
+    yield
+    set_enabled(True)
+    # No test may leak span-stack publication or per-thread stacks.
+    assert not trace_mod._PUBLISH_STACKS
+    assert not trace_mod._THREAD_STACKS
+
+
+def _analysis_workload(seconds: float = 0.25) -> int:
+    """Re-run the real pipeline (parse → typecheck → fixpoint) until the
+    clock runs out; returns the number of full passes."""
+    passes = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        program = parse_program(GET_COUNT_SOURCE, local_crate="ws")
+        checked = check_program(program)
+        engine = FlowEngine(checked, config=MODULAR)
+        for name in engine.local_function_names():
+            engine.analyze_function(name)
+        passes += 1
+    return passes
+
+
+# ---------------------------------------------------------------------------
+# Profile container
+# ---------------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_empty_stack_lands_under_untraced(self):
+        profile = Profile()
+        profile.add(())
+        profile.add((UNTRACED,))
+        assert profile.counts == {(UNTRACED,): 2}
+        assert profile.root_attribution() == {UNTRACED: 1.0}
+
+    def test_root_attribution_sums_to_one(self):
+        profile = Profile()
+        profile.add(("analyze", "fixpoint"))
+        profile.add(("analyze", "parse"))
+        profile.add(("analyze", "parse"))
+        profile.add((UNTRACED,))
+        attribution = profile.root_attribution()
+        assert sum(attribution.values()) == pytest.approx(1.0)
+        assert attribution["analyze"] == pytest.approx(0.75)
+        assert profile.attributed_fraction(["analyze"]) == pytest.approx(0.75)
+
+    def test_collapsed_round_trip(self):
+        profile = Profile()
+        profile.add(("analyze", "fixpoint"))
+        profile.add(("analyze", "fixpoint"))
+        profile.add(("analyze", "parse"))
+        profile.add((UNTRACED,))
+        text = profile.to_collapsed()
+        assert "analyze;fixpoint 2" in text
+        back = Profile.from_collapsed(text)
+        assert back.counts == profile.counts
+
+    def test_collapsed_sanitises_separator_characters(self):
+        profile = Profile()
+        profile.add(("bad;frame", "multi\nline"))
+        text = profile.to_collapsed()
+        assert text == "bad:frame;multi line 1\n"
+        back = Profile.from_collapsed(text)
+        assert back.counts == {("bad:frame", "multi line"): 1}
+
+    def test_from_collapsed_skips_malformed_lines(self):
+        text = "a;b 3\n\nnot-a-count x\njust-one-token\nc 2\n"
+        profile = Profile.from_collapsed(text)
+        assert profile.counts == {("a", "b"): 3, ("c",): 2}
+
+    def test_event_timestamps_are_bounded(self):
+        profile = Profile(max_events=2)
+        for index in range(5):
+            profile.add(("s",), ts_ns=index)
+        assert profile.total_samples == 5  # counts never dropped
+        assert len(profile.events) == 2
+        assert profile.dropped_events == 3
+        assert profile.to_dict()["dropped_events"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Span-stack publication (the trace-side contract)
+# ---------------------------------------------------------------------------
+
+
+class TestSpanStackPublication:
+    def test_stacks_published_only_while_attached(self):
+        tid = threading.get_ident()
+        with start_trace("request"):
+            # No profiler attached: the traced path publishes nothing.
+            assert trace_mod.thread_span_stack(tid) == ()
+        trace_mod._publish_stacks(True)
+        try:
+            with start_trace("request"):
+                with span("child"):
+                    assert trace_mod.thread_span_stack(tid) == ("request", "child")
+                assert trace_mod.thread_span_stack(tid) == ("request",)
+            assert trace_mod.thread_span_stack(tid) == ()
+        finally:
+            trace_mod._publish_stacks(False)
+
+    def test_push_pop_balance_when_attached_mid_trace(self):
+        """A profiler attaching *inside* an open span must not unbalance the
+        stack when that span exits (it was never pushed)."""
+        tid = threading.get_ident()
+        with start_trace("request"):
+            with span("outer"):
+                trace_mod._publish_stacks(True)
+                try:
+                    with span("inner"):
+                        # Only the spans opened after attach are visible.
+                        assert trace_mod.thread_span_stack(tid) == ("inner",)
+                    assert trace_mod.thread_span_stack(tid) == ()
+                finally:
+                    trace_mod._publish_stacks(False)
+
+    def test_refcounted_attach_detach(self):
+        trace_mod._publish_stacks(True)
+        trace_mod._publish_stacks(True)
+        trace_mod._publish_stacks(False)
+        assert trace_mod._PUBLISH_STACKS  # still one holder
+        trace_mod._publish_stacks(False)
+        assert not trace_mod._PUBLISH_STACKS
+
+    def test_unknown_thread_reads_empty(self):
+        assert trace_mod.thread_span_stack(999999999) == ()
+
+
+# ---------------------------------------------------------------------------
+# The sampler itself
+# ---------------------------------------------------------------------------
+
+
+class TestSamplingProfiler:
+    def test_traced_analysis_attribution_at_least_ninety_percent(self):
+        """The acceptance gate: profiling a traced analysis workload must
+        attribute ≥90% of samples to the trace's span names."""
+        profiler = SamplingProfiler(hz=250.0).start()
+        try:
+            with start_trace("analyze") as trace:
+                passes = _analysis_workload(0.3)
+        finally:
+            profile = profiler.stop()
+        assert trace is not None and passes > 0
+        assert profile.total_samples >= 10, "sampler captured too few samples"
+        assert profile.attributed_fraction(["analyze"]) >= 0.90
+        # Deeper frames carry real span names from the pipeline vocabulary.
+        frames = {frame for stack in profile.counts for frame in stack}
+        assert "analyze" in frames
+
+    def test_untraced_samples_account_fully(self):
+        profiler = SamplingProfiler(hz=200.0).start()
+        try:
+            deadline = time.perf_counter() + 0.1
+            while time.perf_counter() < deadline:
+                pass
+        finally:
+            profile = profiler.stop()
+        assert profile.total_samples > 0
+        assert profile.root_attribution() == {UNTRACED: 1.0}
+
+    def test_context_manager_and_double_start_are_idempotent(self):
+        with SamplingProfiler(hz=100.0) as profiler:
+            assert profiler.start() is profiler  # second start is a no-op
+            time.sleep(0.05)
+        assert profiler.profile.duration_seconds > 0
+        assert not trace_mod._PUBLISH_STACKS
+        profiler.stop()  # second stop is a no-op too
+
+    def test_kill_switch_keeps_profiler_inert(self):
+        set_enabled(False)
+        profiler = SamplingProfiler(hz=100.0).start()
+        time.sleep(0.03)
+        profile = profiler.stop()
+        assert profile.total_samples == 0
+        assert profile.started_ns is None
+        assert not trace_mod._PUBLISH_STACKS
+
+    def test_kill_switch_mid_run_stops_sampling(self):
+        profiler = SamplingProfiler(hz=200.0).start()
+        time.sleep(0.05)
+        set_enabled(False)
+        time.sleep(0.05)
+        set_enabled(True)
+        mid = profiler.profile.total_samples
+        time.sleep(0.05)
+        profile = profiler.stop()
+        # The sampling thread exited at the first disabled tick; re-enabling
+        # does not resurrect it.
+        assert profile.total_samples == mid
+
+    def test_explicit_thread_ids_sample_other_threads(self):
+        ready = threading.Event()
+        release = threading.Event()
+        holder = {}
+
+        def worker():
+            holder["tid"] = threading.get_ident()
+            trace_mod._publish_stacks(True)
+            try:
+                with start_trace("worker-request"):
+                    ready.set()
+                    release.wait(timeout=5)
+            finally:
+                trace_mod._publish_stacks(False)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert ready.wait(timeout=5)
+        profiler = SamplingProfiler(hz=200.0, thread_ids=[holder["tid"]]).start()
+        time.sleep(0.1)
+        profile = profiler.stop()
+        release.set()
+        thread.join(timeout=5)
+        assert profile.attributed_fraction(["worker-request"]) > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Flamegraph + Chrome exports
+# ---------------------------------------------------------------------------
+
+
+def _sample_profile() -> Profile:
+    profile = Profile(hz=97.0)
+    for _ in range(6):
+        profile.add(("analyze", "fixpoint"), ts_ns=1_000)
+    for _ in range(3):
+        profile.add(("analyze", "parse"), ts_ns=2_000)
+    profile.add((UNTRACED,), ts_ns=3_000)
+    profile.started_ns = 0
+    profile.ended_ns = 1_000_000_000
+    return profile
+
+
+class TestFlamegraph:
+    def test_svg_is_deterministic_and_carries_tooltips(self):
+        profile = _sample_profile()
+        svg = flamegraph_svg(profile, title="test profile")
+        assert svg == flamegraph_svg(profile, title="test profile")
+        assert svg.startswith("<svg ")
+        assert "test profile — 10 samples" in svg
+        assert "analyze — 9 samples (90.0%)" in svg
+        assert "fixpoint — 6 samples (60.0%)" in svg
+        assert "(untraced) — 1 samples (10.0%)" in svg
+
+    def test_svg_escapes_markup_in_frame_names(self):
+        profile = Profile()
+        profile.add(('<script>"x"</script>',))
+        svg = flamegraph_svg(profile)
+        assert "<script>" not in svg
+        assert "&lt;script&gt;" in svg
+
+    def test_html_wraps_the_svg(self):
+        html = flamegraph_html(_sample_profile(), title="page")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg " in html and "<title>page</title>" in html
+
+    def test_chrome_merge_shares_the_trace_clock(self):
+        with start_trace("request") as trace:
+            with span("work"):
+                time.sleep(0.005)
+        profile = Profile(hz=97.0)
+        mid_ns = trace.root.start_ns + (trace.root.end_ns - trace.root.start_ns) // 2
+        profile.add(("request", "work"), ts_ns=mid_ns)
+        document = chrome_trace_document(trace)
+        attach_profile_to_chrome(document, profile, base_ns=trace.root.start_ns)
+        assert len(document["samples"]) == 1
+        sample = document["samples"][0]
+        # The sample's µs timestamp falls inside the root span's event.
+        root_event = document["traceEvents"][0]
+        assert 0 <= sample["ts"] <= root_event["dur"]
+        # stackFrames parent chain: work -> request.
+        leaf = document["stackFrames"][sample["sf"]]
+        assert leaf["name"] == "work"
+        assert document["stackFrames"][leaf["parent"]]["name"] == "request"
+
+    def test_chrome_merge_interns_shared_prefixes(self):
+        profile = Profile()
+        profile.add(("a", "b", "c"), ts_ns=10)
+        profile.add(("a", "b", "d"), ts_ns=20)
+        document = attach_profile_to_chrome({"traceEvents": []}, profile, base_ns=0)
+        # a, a;b, a;b;c, a;b;d — shared prefixes interned once.
+        assert len(document["stackFrames"]) == 4
+        parents = [frame.get("parent") for frame in document["stackFrames"].values()]
+        assert sum(1 for p in parents if p is None) == 1

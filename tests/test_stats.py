@@ -190,3 +190,79 @@ def test_percentile_reexported_from_perf():
     from repro.eval.stats import percentile
 
     assert perf_percentile is percentile
+
+
+# ---------------------------------------------------------------------------
+# Totality properties (documented in the stats docstrings, pinned here)
+# ---------------------------------------------------------------------------
+
+
+def _pseudo_random_samples(seed: int, count: int) -> list:
+    """Deterministic LCG sample sets — property-style coverage, no RNG deps."""
+    state, samples = seed, []
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) % (2**31)
+        samples.append(state / 2**31 * 1000.0)
+    return samples
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+@pytest.mark.parametrize("count", [1, 2, 3, 10, 101])
+def test_percentile_result_is_always_an_actual_sample(seed, count):
+    from repro.eval.stats import percentile
+
+    samples = _pseudo_random_samples(seed, count)
+    for fraction in (0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+        result = percentile(samples, fraction)
+        assert result in samples  # nearest-rank, never interpolated
+        assert min(samples) <= result <= max(samples)
+
+
+@pytest.mark.parametrize("seed", [3, 99])
+def test_percentile_is_monotone_in_the_fraction(seed):
+    from repro.eval.stats import percentile
+
+    samples = _pseudo_random_samples(seed, 50)
+    fractions = [i / 20 for i in range(21)]
+    results = [percentile(samples, f) for f in fractions]
+    assert results == sorted(results)
+    assert results[0] == min(samples) and results[-1] == max(samples)
+
+
+def test_percentile_total_on_degenerate_inputs():
+    from repro.eval.stats import percentile
+
+    # Empty input and out-of-range fractions must not raise: the benchmark
+    # harness feeds these (zero-sample warm runs, caller-supplied fractions).
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.0) == 0.0
+    assert percentile([2.0], -1.0) == 2.0  # fraction clamps low
+    assert percentile([2.0], 7.5) == 2.0  # fraction clamps high
+    assert percentile([1.0, 2.0], 7.5) == 2.0
+    assert percentile([1.0, 2.0], -7.5) == 1.0
+
+
+def test_percentile_is_permutation_invariant():
+    from repro.eval.stats import percentile
+
+    samples = _pseudo_random_samples(11, 31)
+    shuffled = samples[7:] + samples[:7]
+    for fraction in (0.1, 0.5, 0.99):
+        assert percentile(samples, fraction) == percentile(shuffled, fraction)
+
+
+@pytest.mark.parametrize("count", [0, 1, 5, 100])
+def test_latency_summary_ms_is_total_and_ordered(count):
+    from repro.eval.stats import latency_summary_ms
+
+    samples = _pseudo_random_samples(5, count) if count else []
+    summary = latency_summary_ms(samples, fractions=(0.50, 0.95, 0.99))
+    assert set(summary) == {"p50", "p95", "p99"}
+    assert summary["p50"] <= summary["p95"] <= summary["p99"]
+    if count == 0:
+        assert summary == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    else:
+        # Values convert seconds -> ms and stay within the sample envelope
+        # (modulo the 4-digit rounding the summary applies).
+        assert summary["p99"] <= max(samples) * 1000.0 + 1e-3
+        assert summary["p50"] >= min(samples) * 1000.0 - 1e-3
