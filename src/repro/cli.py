@@ -335,6 +335,65 @@ def build_parser() -> argparse.ArgumentParser:
     bench_backfill_cmd.add_argument("--report-dir", default="benchmarks/reports",
                                     help="directory of legacy report JSONs")
 
+    eval_cmd = sub.add_parser(
+        "eval",
+        help="mass evaluation: batch-run program corpora through the full "
+             "oracle battery with aggregate gates (subcommands: run, report)",
+    )
+    esub = eval_cmd.add_subparsers(dest="eval_command", required=True)
+    eval_run = esub.add_parser(
+        "run",
+        help="ingest a corpus (fuzz sweep and/or .mrs directories), fan it "
+             "across workers, write the aggregate report",
+    )
+    eval_run.add_argument("--count", type=int, default=0,
+                          help="fuzz seed-sweep size; program i uses seed+i "
+                               "(default: 0 = only --dir corpora)")
+    eval_run.add_argument("--seed", type=int, default=0,
+                          help="first sweep seed (default: 0)")
+    eval_run.add_argument("--size", default="small",
+                          choices=["small", "medium", "large"],
+                          help="generator size profile for the sweep (default: small)")
+    eval_run.add_argument("--dir", action="append", default=[], dest="dirs",
+                          metavar="DIR",
+                          help="directory of committed .mrs programs to ingest "
+                               "(repeatable; recursive)")
+    eval_run.add_argument("--workers", type=int, default=0,
+                          help="process-pool workers; 0 or 1 = serial (default: 0)")
+    eval_run.add_argument("--chunk-size", type=int, default=8,
+                          help="programs per shard (default: 8)")
+    eval_run.add_argument("--oracles",
+                          help="comma-separated oracle subset (default: all five)")
+    eval_run.add_argument("--inject", metavar="NAME",
+                          help="add a synthetic always-wrong oracle "
+                               "(self-test for the failure path)")
+    eval_run.add_argument("--out-dir", default="benchmarks/reports/massrun",
+                          help="report + manifest + failure artifacts root "
+                               "(created idempotently; default: "
+                               "benchmarks/reports/massrun)")
+    eval_run.add_argument("--ledger-dir", default="benchmarks/reports/history",
+                          help="bench-history ledger for the massrun row "
+                               "(default: benchmarks/reports/history)")
+    eval_run.add_argument("--no-ledger", action="store_true",
+                          help="skip the bench-history ledger row")
+    eval_run.add_argument("--gate", action="store_true",
+                          help="exit 1 on any oracle failure or empty "
+                               "feature bucket")
+    eval_run.add_argument("--json", action="store_true",
+                          help="print the aggregate report as JSON")
+    eval_report_cmd = esub.add_parser(
+        "report", help="render a previously written mass-evaluation report"
+    )
+    eval_report_cmd.add_argument(
+        "report", nargs="?",
+        default="benchmarks/reports/massrun/massrun_report.json",
+        help="report path (default: benchmarks/reports/massrun/massrun_report.json)",
+    )
+    eval_report_cmd.add_argument("--json", action="store_true",
+                                 help="print the report JSON verbatim")
+    eval_report_cmd.add_argument("--gate", action="store_true",
+                                 help="exit 1 if the report would fail the gate")
+
     metrics_cmd = sub.add_parser(
         "metrics",
         help="fetch the metrics snapshot from a live `repro serve --port` server",
@@ -1068,6 +1127,70 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_eval(args: argparse.Namespace, out) -> int:
+    """``repro eval`` family: mass-run corpora, render aggregate reports."""
+    import json
+
+    from repro.eval.massrun import (
+        MassRunConfig,
+        gate_problems,
+        load_report,
+        render_mass_report,
+        run_mass_evaluation,
+    )
+
+    if args.eval_command == "report":
+        data = load_report(args.report)
+        if args.json:
+            out.write(json.dumps(data, sort_keys=True, indent=2) + "\n")
+        else:
+            out.write(render_mass_report(data) + "\n")
+        if args.gate:
+            problems = gate_problems(data)
+            if problems:
+                for problem in problems:
+                    out.write(f"gate: {problem}\n")
+                return 1
+            out.write("gate: ok\n")
+        return 0
+
+    config = MassRunConfig(
+        count=args.count,
+        seed=args.seed,
+        size=args.size,
+        dirs=list(args.dirs),
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        oracles=args.oracles.split(",") if args.oracles else None,
+        inject=args.inject,
+        out_dir=args.out_dir,
+        ledger_dir=None if args.no_ledger else args.ledger_dir,
+    )
+    report = run_mass_evaluation(config)
+    data = report.to_json_dict()
+    if args.json:
+        out.write(json.dumps(data, sort_keys=True, indent=2) + "\n")
+    else:
+        out.write(render_mass_report(data) + "\n")
+        out.write(f"\nreport: {report.report_path}\n")
+        if report.ledger is not None:
+            out.write(
+                "ledger: {} ({} record(s), run {})\n".format(
+                    report.ledger["ledger"],
+                    report.ledger["records"],
+                    report.ledger["run_id"],
+                )
+            )
+    if args.gate:
+        problems = gate_problems(data)
+        if problems:
+            for problem in problems:
+                out.write(f"gate: {problem}\n")
+            return 1
+        out.write("gate: ok\n")
+    return 0
+
+
 _HANDLERS = {
     "mir": cmd_mir,
     "analyze": cmd_analyze,
@@ -1082,6 +1205,7 @@ _HANDLERS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "bench": cmd_bench,
+    "eval": cmd_eval,
     "metrics": cmd_metrics,
     "workspace": cmd_workspace,
     "version": cmd_version,

@@ -14,15 +14,32 @@ provides the substituted pipeline end to end:
 * :mod:`repro.eval.stats` — percentage-difference distributions, medians,
   crate-level correlation and the interaction regression of Section 5.2,
 * :mod:`repro.eval.report` — text renderings of every table and figure,
-* :mod:`repro.eval.perf` — the performance comparison of Section 5.1.
+* :mod:`repro.eval.perf` — the performance comparison of Section 5.1,
+* :mod:`repro.eval.massrun` — the mass-evaluation harness: batch-run
+  program corpora (fuzz sweeps + committed ``.mrs`` directories, content-
+  deduplicated) through the full oracle battery with aggregate gates.
 """
 
 from repro.eval.corpus import (
+    Corpus,
+    CorpusProgram,
     CrateSpec,
     GeneratedCrate,
     PAPER_CRATE_SPECS,
+    dedup_programs,
     generate_corpus,
     generate_crate,
+    ingest_corpus,
+    load_corpus_dir,
+    program_digest,
+    safe_artifact_path,
+)
+from repro.eval.massrun import (
+    MassRunConfig,
+    MassRunReport,
+    gate_problems,
+    run_mass_evaluation,
+    strip_volatile,
 )
 from repro.eval.metrics import CrateMetrics, collect_metrics, dataset_table
 from repro.eval.experiments import (
@@ -50,18 +67,30 @@ from repro.eval.report import (
 
 __all__ = [
     "ConditionRun",
+    "Corpus",
+    "CorpusProgram",
     "CrateMetrics",
     "CrateSpec",
     "DiffSummary",
     "ExperimentData",
     "GeneratedCrate",
+    "MassRunConfig",
+    "MassRunReport",
     "PAPER_CRATE_SPECS",
     "collect_metrics",
     "crate_boundary_study",
     "crate_correlation",
     "dataset_table",
+    "dedup_programs",
+    "gate_problems",
     "generate_corpus",
     "generate_crate",
+    "ingest_corpus",
+    "load_corpus_dir",
+    "program_digest",
+    "run_mass_evaluation",
+    "safe_artifact_path",
+    "strip_volatile",
     "histogram",
     "interaction_regression",
     "percent_differences",

@@ -144,6 +144,20 @@ TRACKED: Dict[str, MetricPolicy] = {
         _latency("focus.warm_p50_ms"),
         _latency("load.p50_ms"),
         _latency("load.p99_ms"),
+        # Mass-evaluation harness (`repro eval run`): the pass rate is a
+        # machine-independent ratio, so it gates — any drop below the
+        # baseline (normally 1.0) is a real oracle regression, not noise.
+        # Throughput and latency are hardware-bound: report-only.
+        MetricPolicy(
+            "massrun.pass_rate", direction="higher", tolerance=0.001,
+            window=5, gate=True, unit="",
+        ),
+        MetricPolicy(
+            "massrun.programs_per_second", direction="higher", tolerance=0.75,
+            window=5, gate=False, unit="prog/s",
+        ),
+        _latency("massrun.p50_ms"),
+        _latency("massrun.p95_ms"),
     )
 }
 

@@ -26,10 +26,15 @@ runs in minutes of pure Python rather than hours of rustc.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
+import re
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.lang.ast import Program
 from repro.lang.parser import parse_program
 
@@ -748,3 +753,231 @@ def generate_fuzz_corpus(
             )
         )
     return crates
+
+
+# ---------------------------------------------------------------------------
+# Corpus ingestion (the mass-evaluation harness's input layer)
+# ---------------------------------------------------------------------------
+
+CORPUS_MANIFEST_NAME = "corpus_manifest.json"
+CORPUS_MANIFEST_KIND = "repro-eval-corpus"
+CORPUS_MANIFEST_VERSION = 1
+
+#: Characters allowed in on-disk artifact names derived from program names.
+_SAFE_NAME_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def program_digest(source: str) -> str:
+    """Content digest of one program: sha256 over the exact UTF-8 bytes.
+
+    Byte-stable by construction — the same source text digests identically
+    on every platform and run, which is what makes digests usable as the
+    corpus dedup key and as cross-run verdict join keys.
+    """
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def safe_artifact_path(root, name: str, suffix: str = "") -> Path:
+    """A path for ``name`` strictly inside ``root`` (created idempotently).
+
+    Program names may come from arbitrary ``.mrs`` file stems; a hostile or
+    merely odd name (``../evil``, ``a/b``, absolute paths) must never escape
+    the user-supplied output root.  Separators and any character outside
+    ``[A-Za-z0-9._-]`` are flattened to ``_``, leading dots are stripped (so
+    ``..`` cannot survive), and the result is verified to resolve inside
+    ``root`` — if it somehow does not, we refuse rather than write.
+    """
+    directory = Path(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    flat = _SAFE_NAME_RE.sub("_", str(name).replace("/", "_").replace("\\", "_"))
+    flat = flat.lstrip(".") or "program"
+    candidate = directory / f"{flat}{suffix}"
+    resolved_root = directory.resolve()
+    resolved = candidate.resolve()
+    if resolved != resolved_root and resolved_root not in resolved.parents:
+        raise ReproError(
+            f"artifact name {name!r} escapes the output root {str(root)!r}"
+        )
+    return candidate
+
+
+@dataclass
+class CorpusProgram:
+    """One deduplicated corpus member: provenance plus content digest."""
+
+    name: str
+    source: str
+    digest: str
+    origin: str  # "fuzz" | "file:<basename>"
+    crate_name: str = "fuzzed"
+    seed: int = 0
+    features: Optional[Dict[str, int]] = None  # generator histogram, if known
+
+    def loc(self) -> int:
+        return sum(1 for line in self.source.splitlines() if line.strip())
+
+    def manifest_entry(self) -> dict:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "origin": self.origin,
+            "crate": self.crate_name,
+            "seed": self.seed,
+            "loc": self.loc(),
+            "features": dict(sorted(self.features.items())) if self.features else None,
+        }
+
+
+@dataclass
+class Corpus:
+    """A deduplicated program set with an order-independent manifest."""
+
+    programs: List[CorpusProgram]
+    duplicates: int = 0
+
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    def total_loc(self) -> int:
+        return sum(program.loc() for program in self.programs)
+
+    def manifest(self) -> dict:
+        """The canonical corpus manifest (sorted by digest, so the same
+        *set* of programs yields the same manifest in any ingestion order)."""
+        return {
+            "kind": CORPUS_MANIFEST_KIND,
+            "version": CORPUS_MANIFEST_VERSION,
+            "programs": [program.manifest_entry() for program in self.programs],
+            "count": len(self.programs),
+            "duplicates": self.duplicates,
+            "total_loc": self.total_loc(),
+        }
+
+    def manifest_digest(self) -> str:
+        return hashlib.sha256(
+            json.dumps(self.manifest(), sort_keys=True).encode("utf-8")
+        ).hexdigest()
+
+    def write_manifest(self, directory) -> Path:
+        path = safe_artifact_path(directory, CORPUS_MANIFEST_NAME)
+        path.write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+
+def dedup_programs(programs: Iterable[CorpusProgram]) -> Corpus:
+    """Deduplicate by content digest, order-independently.
+
+    When the same bytes arrive under several names, the representative is
+    the one with the lexicographically smallest ``(name, origin)`` — so any
+    permutation of the same input set produces an identical corpus.
+    """
+    by_digest: Dict[str, CorpusProgram] = {}
+    duplicates = 0
+    for program in programs:
+        existing = by_digest.get(program.digest)
+        if existing is None:
+            by_digest[program.digest] = program
+            continue
+        duplicates += 1
+        if (program.name, program.origin) < (existing.name, existing.origin):
+            # Keep the richer feature histogram regardless of which name wins.
+            if program.features is None and existing.features is not None:
+                program = replace_features(program, existing.features)
+            by_digest[program.digest] = program
+        elif existing.features is None and program.features is not None:
+            by_digest[program.digest] = replace_features(existing, program.features)
+    ordered = sorted(by_digest.values(), key=lambda p: p.digest)
+    return Corpus(programs=ordered, duplicates=duplicates)
+
+
+def replace_features(program: CorpusProgram, features: Dict[str, int]) -> CorpusProgram:
+    return CorpusProgram(
+        name=program.name,
+        source=program.source,
+        digest=program.digest,
+        origin=program.origin,
+        crate_name=program.crate_name,
+        seed=program.seed,
+        features=dict(features),
+    )
+
+
+def fuzz_sweep_programs(
+    count: int, seed: int = 0, size: str = "small"
+) -> List[CorpusProgram]:
+    """A seed sweep of :mod:`repro.fuzz` generated programs as corpus members."""
+    from repro.fuzz.generator import generate_program, profile
+
+    config = profile(size)
+    out: List[CorpusProgram] = []
+    for index in range(max(0, count)):
+        generated = generate_program(seed + index, config)
+        out.append(
+            CorpusProgram(
+                name=f"fuzz_{size}_seed{generated.seed}",
+                source=generated.source,
+                digest=program_digest(generated.source),
+                origin="fuzz",
+                crate_name=config.crate_name,
+                seed=generated.seed,
+                features=dict(generated.features),
+            )
+        )
+    return out
+
+
+def load_corpus_dir(directory, crate_name: str = "fuzzed") -> List[CorpusProgram]:
+    """Ingest every ``*.mrs`` file under ``directory`` (sorted, recursive).
+
+    If a ``corpus_manifest.json`` sits alongside (as written by
+    ``repro fuzz --export-corpus`` and by the mass runner itself), its
+    per-digest feature histograms and seeds are re-attached — matching on
+    content digest, so a stale manifest can never mislabel a program.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ReproError(f"corpus directory {str(directory)!r} does not exist")
+    by_digest: Dict[str, dict] = {}
+    manifest_path = root / CORPUS_MANIFEST_NAME
+    if manifest_path.is_file():
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            for entry in manifest.get("programs", []):
+                if isinstance(entry, dict) and entry.get("digest"):
+                    by_digest[entry["digest"]] = entry
+        except (ValueError, OSError):
+            by_digest = {}  # a corrupt manifest only costs the histograms
+    out: List[CorpusProgram] = []
+    for path in sorted(root.rglob("*.mrs")):
+        source = path.read_text(encoding="utf-8")
+        digest = program_digest(source)
+        entry = by_digest.get(digest, {})
+        out.append(
+            CorpusProgram(
+                name=path.stem,
+                source=source,
+                digest=digest,
+                origin=f"file:{path.name}",
+                crate_name=entry.get("crate", crate_name),
+                seed=int(entry.get("seed", 0)),
+                features=entry.get("features") or None,
+            )
+        )
+    return out
+
+
+def ingest_corpus(
+    count: int = 0,
+    seed: int = 0,
+    size: str = "small",
+    dirs: Sequence = (),
+) -> Corpus:
+    """The mass-evaluation input pipeline: fuzz sweep + committed directories,
+    deduplicated by content digest into one canonical corpus."""
+    programs = fuzz_sweep_programs(count, seed=seed, size=size)
+    for directory in dirs:
+        programs.extend(load_corpus_dir(directory))
+    return dedup_programs(programs)

@@ -221,26 +221,66 @@ def _shrink_failure(
     )
 
 
-def _write_artifact(failure: CampaignFailure, config: CampaignConfig, directory: Path) -> str:
+def write_repro_artifact(
+    directory,
+    *,
+    seed: int,
+    oracle: str,
+    detail: str,
+    source: str,
+    size: str = "small",
+    crate_name: str = "fuzzed",
+    original_loc: Optional[int] = None,
+    generator_config: Optional[dict] = None,
+    reduction: Optional[ReductionResult] = None,
+    name: Optional[str] = None,
+) -> str:
+    """Write one self-contained repro artifact; returns its path.
+
+    The format is shared between campaign failures and the mass-evaluation
+    harness's per-program failure artifacts, so every failure — fuzzed or
+    ingested from a committed corpus — replays with ``repro fuzz repro``.
+    The file name is routed through the path-traversal guard: artifact
+    names derived from corpus program names can never escape ``directory``.
+    """
+    from repro.eval.corpus import safe_artifact_path
+
     artifact = {
         "kind": ARTIFACT_KIND,
         "version": ARTIFACT_VERSION,
         "generator_version": GENERATOR_VERSION,
-        "seed": failure.seed,
-        "size": config.size,
-        "crate_name": config.crate_name,
-        "oracle": failure.oracle,
-        "detail": failure.detail,
-        "source": failure.reduced_source,
-        "original_loc": count_loc(failure.source),
-        "generator_config": config.generator_config().to_json_dict(),
+        "seed": seed,
+        "size": size,
+        "crate_name": crate_name,
+        "oracle": oracle,
+        "detail": detail,
+        "source": source,
+        "original_loc": original_loc if original_loc is not None else count_loc(source),
     }
-    if failure.reduction is not None:
-        artifact["reduction"] = failure.reduction.to_json_dict()
-    safe_oracle = failure.oracle.replace(":", "_")
-    path = directory / f"fuzz_repro_seed{failure.seed}_{safe_oracle}.json"
+    if generator_config is not None:
+        artifact["generator_config"] = generator_config
+    if reduction is not None:
+        artifact["reduction"] = reduction.to_json_dict()
+    safe_oracle = oracle.replace(":", "_")
+    stem = name if name is not None else f"fuzz_repro_seed{seed}_{safe_oracle}"
+    path = safe_artifact_path(directory, stem, suffix=".json")
     path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return str(path)
+
+
+def _write_artifact(failure: CampaignFailure, config: CampaignConfig, directory: Path) -> str:
+    return write_repro_artifact(
+        directory,
+        seed=failure.seed,
+        oracle=failure.oracle,
+        detail=failure.detail,
+        source=failure.reduced_source,
+        size=config.size,
+        crate_name=config.crate_name,
+        original_loc=count_loc(failure.source),
+        generator_config=config.generator_config().to_json_dict(),
+        reduction=failure.reduction,
+    )
 
 
 def run_campaign(config: CampaignConfig, on_progress=None) -> CampaignReport:
@@ -298,13 +338,32 @@ def run_campaign(config: CampaignConfig, on_progress=None) -> CampaignReport:
 
 
 def write_corpus_files(programs: Sequence[GeneratedProgram], size: str, directory) -> List[str]:
-    """Write generated programs as ``.mrs`` files (one per seed)."""
+    """Write generated programs as ``.mrs`` files (one per seed), plus a
+    ``corpus_manifest.json`` carrying each program's content digest and
+    feature histogram — the histogram export that lets the mass-evaluation
+    harness key per-feature breakdowns on committed corpora too."""
+    from repro.eval.corpus import CorpusProgram, dedup_programs, program_digest
+
     out_dir = ensure_report_dir(directory)
     paths: List[str] = []
+    members: List[CorpusProgram] = []
     for program in programs:
-        path = out_dir / f"fuzz_{size}_seed{program.seed}.mrs"
+        name = f"fuzz_{size}_seed{program.seed}"
+        path = out_dir / f"{name}.mrs"
         path.write_text(program.source, encoding="utf-8")
         paths.append(str(path))
+        members.append(
+            CorpusProgram(
+                name=name,
+                source=program.source,
+                digest=program_digest(program.source),
+                origin="fuzz",
+                crate_name=program.crate_name,
+                seed=program.seed,
+                features=dict(program.features),
+            )
+        )
+    dedup_programs(members).write_manifest(out_dir)
     return paths
 
 

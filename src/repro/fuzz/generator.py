@@ -42,6 +42,42 @@ EXTERN_CRATE = """crate extfuzz {
 
 EXTERN_FUNCTIONS = ("ext_mix", "ext_scale", "ext_pick", "ext_probe")
 
+#: Every feature tag the generator can emit — the complete ``note()``
+#: vocabulary, in sorted order.  The mass-evaluation harness uses this as
+#: the corpus-level coverage target: at scale, every one of these buckets
+#: must be non-empty, or the corpus is not exercising the whole grammar.
+#: Keep in sync with the ``note(...)`` calls below (a test sweeps seeds and
+#: asserts the emitted set equals exactly this tuple).
+GENERATOR_FEATURES: Tuple[str, ...] = (
+    "arith",
+    "bool_let",
+    "borrow_mut",
+    "borrow_shared",
+    "branch",
+    "call_extern",
+    "call_local",
+    "deref_read",
+    "deref_write",
+    "div_rem",
+    "early_return",
+    "entry",
+    "field_read",
+    "field_write",
+    "getter",
+    "if_else",
+    "if_expr",
+    "loop",
+    "mixer",
+    "mixer_call",
+    "mut_ref_param",
+    "reassign",
+    "setter",
+    "shared_ref_param",
+    "struct_def",
+    "struct_literal",
+    "tuple",
+)
+
 
 @dataclass(frozen=True)
 class GeneratorConfig:

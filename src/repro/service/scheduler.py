@@ -128,6 +128,63 @@ def schedule_waves(graph: CallGraph, names: Sequence[str]) -> List[List[str]]:
     return waves
 
 
+def map_shards(
+    worker,
+    tasks: Sequence,
+    *,
+    max_workers: Optional[int] = None,
+    chunk_size: int = 8,
+    parallel: Optional[bool] = None,
+    initializer=None,
+    initargs: tuple = (),
+):
+    """Fan ``tasks`` across a process pool in order-preserving chunks.
+
+    ``worker`` must be a module-level (picklable) function taking one chunk
+    (a list of tasks) and returning a list of results; ``initializer`` runs
+    once per worker process.  The degrade contract matches the batch
+    scheduler's: any pool failure — sandboxes that forbid ``fork``, pickling
+    regressions — falls back to running the same chunks serially in-process
+    (calling ``initializer`` locally first) rather than failing the request.
+
+    Returns ``(mode, results, error)`` where mode is ``"serial"`` /
+    ``"parallel"`` / ``"serial-fallback"`` and results concatenate the
+    chunk results in task order.  This is the corpus-level fan-out the
+    mass-evaluation harness runs on; the function-level fan-out above
+    shares its shape.
+    """
+    items = list(tasks)
+    chunks = [items[i : i + max(1, chunk_size)] for i in range(0, len(items), max(1, chunk_size))]
+
+    def run_serial() -> List:
+        if initializer is not None:
+            initializer(*initargs)
+        out: List = []
+        for index, chunk in enumerate(chunks):
+            with obs_span("shard", index=index, size=len(chunk)):
+                out.extend(worker(chunk))
+        return out
+
+    want_parallel = (
+        parallel if parallel is not None else (max_workers or 0) > 1 and len(items) > 1
+    )
+    if not want_parallel:
+        return "serial", run_serial(), None
+    try:
+        results: List = []
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            # Worker processes' spans are invisible here; the shard spans
+            # measure per-chunk fan-out wall time at the coordinator.
+            for index, payload in enumerate(pool.map(worker, chunks)):
+                with obs_span("shard", index=index, parallel=True):
+                    results.extend(payload)
+        return "parallel", results, None
+    except Exception as error:  # pool unavailable: degrade, don't fail
+        return "serial-fallback", run_serial(), f"{type(error).__name__}: {error}"
+
+
 # -- process-pool worker ------------------------------------------------------
 #
 # Worker state is rebuilt per process from (source, local_crate, config):

@@ -674,6 +674,29 @@ class AnalysisSession:
             out[fn_name] = entry
         return {"condition": condition_name(config), "functions": out}
 
+    def snapshot_digest(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        max_variables_per_function: Optional[int] = None,
+    ) -> str:
+        """sha256 over the canonical :meth:`snapshot` JSON.
+
+        One hex string that commits to every analyze record and slice in the
+        workspace — the per-program verdict token the mass-evaluation
+        harness records, and a compact equality witness anywhere two
+        sessions must be provably answer-identical.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            self.snapshot(
+                config=config, max_variables_per_function=max_variables_per_function
+            ),
+            sort_keys=True,
+        ).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
     def stats(self) -> dict:
         """Session/store/counter snapshot, including the last invalidation plan."""
         return {

@@ -1,0 +1,98 @@
+"""Replay the JSON blocks of ``docs/EVALUATION.md`` against real artifacts.
+
+Every fenced block tagged ``eval-report`` is asserted to be a recursive
+*subset* of the actual (volatile-stripped) aggregate report produced by
+running the committed mini-corpus through the harness; ``eval-manifest``
+and ``eval-manifest-entry`` blocks are matched against the committed
+manifest the same way.  Subset semantics mirror ``test_protocol_docs``:
+documented objects may omit fields, documented lists must match exactly.
+The documented schema cannot rot without this file failing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EVALUATION_MD = REPO / "docs" / "EVALUATION.md"
+MINI_CORPUS = REPO / "tests" / "data" / "mini_corpus"
+GOLDEN = REPO / "tests" / "data" / "massrun_mini50_golden.json"
+
+BLOCK_RE = re.compile(r"```(eval-[a-z-]+)\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks():
+    text = EVALUATION_MD.read_text(encoding="utf-8")
+    return [(m.group(1), json.loads(m.group(2))) for m in BLOCK_RE.finditer(text)]
+
+
+def assert_subset(expected, actual, path="$"):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object"
+        for key, value in expected.items():
+            assert key in actual, f"{path}: missing key {key!r}"
+            assert_subset(value, actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected array"
+        assert len(expected) == len(actual), (
+            f"{path}: array length {len(actual)} != documented {len(expected)}"
+        )
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            assert_subset(exp, act, f"{path}[{index}]")
+    else:
+        assert expected == actual, f"{path}: documented {expected!r}, got {actual!r}"
+
+
+BLOCKS = extract_blocks()
+
+
+def test_doc_has_all_block_kinds():
+    kinds = [kind for kind, _ in BLOCKS]
+    assert "eval-report" in kinds
+    assert "eval-manifest" in kinds
+    assert "eval-manifest-entry" in kinds
+
+
+def test_manifest_blocks_match_committed_manifest():
+    manifest = json.loads(
+        (MINI_CORPUS / "corpus_manifest.json").read_text(encoding="utf-8")
+    )
+    for kind, expected in BLOCKS:
+        if kind == "eval-manifest":
+            assert_subset(expected, manifest, path=kind)
+        elif kind == "eval-manifest-entry":
+            by_name = {entry["name"]: entry for entry in manifest["programs"]}
+            assert expected["name"] in by_name, f"{kind}: unknown program"
+            assert_subset(expected, by_name[expected["name"]], path=kind)
+
+
+def test_report_blocks_match_golden():
+    # The golden IS the stripped report of the mini-corpus run — and
+    # test_massrun proves the golden matches a live run exactly, so the
+    # doc → golden → live chain is closed without re-running 50 programs.
+    golden = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    for kind, expected in BLOCKS:
+        if kind == "eval-report":
+            assert_subset(expected, golden, path=kind)
+
+
+def test_documented_flags_exist_in_cli():
+    """Every `--flag` named in the doc is a real `repro eval run` flag."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = EVALUATION_MD.read_text(encoding="utf-8")
+    documented = set(re.findall(r"`(--[a-z-]+)(?: [A-Za-z,|]+)?`", text))
+    eval_flags = set()
+    for action in parser._subparsers._group_actions:
+        run_parser = action.choices["eval"]
+        for sub_action in run_parser._subparsers._group_actions:
+            for sub in sub_action.choices.values():
+                for option in sub._option_string_actions:
+                    eval_flags.add(option)
+    missing = {flag for flag in documented if flag not in eval_flags}
+    assert not missing, f"doc names flags the CLI lacks: {sorted(missing)}"
