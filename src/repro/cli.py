@@ -90,9 +90,10 @@ def _add_condition_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         default="bitset",
-        choices=["bitset", "object"],
-        help="dataflow substrate: the indexed bitset engine (default) or the "
-             "legacy object engine kept as the differential reference",
+        choices=["bitset", "vector", "object"],
+        help="dataflow substrate: the indexed bitset engine (default), the "
+             "vectorized numpy uint64 engine (tier 3, requires numpy), or "
+             "the legacy object engine kept as the differential reference",
     )
 
 
@@ -113,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="print Θ annotations and dependency sizes")
     analyze.add_argument("file")
     analyze.add_argument("--function", help="only this function (default: all)")
+    analyze.add_argument("--workers", type=int, default=0,
+                         help="analyse callees-first in SCC waves across a "
+                              "process pool; 0 or 1 = serial (default: 0)")
     _add_condition_flags(analyze)
 
     slice_cmd = sub.add_parser("slice", help="slice a function on a variable")
@@ -362,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="process-pool workers; 0 or 1 = serial (default: 0)")
     eval_run.add_argument("--chunk-size", type=int, default=8,
                           help="programs per shard (default: 8)")
+    eval_run.add_argument("--engine", default="bitset",
+                          choices=["bitset", "vector", "object"],
+                          help="dataflow substrate for the probe analyses "
+                               "(default: bitset); `vector` doubles as an "
+                               "at-scale differential pass of the numpy tier")
     eval_run.add_argument("--oracles",
                           help="comma-separated oracle subset (default: all five)")
     eval_run.add_argument("--inject", metavar="NAME",
@@ -454,8 +463,50 @@ def cmd_mir(args: argparse.Namespace, out) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace, out) -> int:
-    engine = FlowEngine.from_source(_read_source(args.file), config=_config_from_args(args))
-    for name in _selected_functions(engine, args.function):
+    source = _read_source(args.file)
+    config = _config_from_args(args)
+    engine = FlowEngine.from_source(source, config=config)
+    names = _selected_functions(engine, args.function)
+
+    workers = getattr(args, "workers", 0) or 0
+    if workers > 1 and len(names) > 1:
+        import dataclasses as _dataclasses
+
+        from repro.service.scheduler import (
+            _init_worker,
+            _render_batch,
+            run_waves,
+            schedule_waves,
+        )
+
+        waves = schedule_waves(engine.call_graph, names)
+        mode, wave_results, _error = run_waves(
+            _render_batch,
+            waves,
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(source, engine.local_crate, _dataclasses.asdict(config)),
+        )
+        rendered = {
+            name: (body_text, sizes)
+            for wave in wave_results
+            for name, body_text, sizes in wave
+        }
+        out.write(
+            f"// scheduled {len(names)} function(s) in {len(waves)} SCC "
+            f"wave(s), mode: {mode}\n"
+        )
+        for name in names:
+            body_text, sizes = rendered[name]
+            out.write(f"// condition: {config.name}\n")
+            out.write(body_text + "\n")
+            out.write("// dependency-set sizes at exit:\n")
+            for variable, size in sorted(sizes.items()):
+                out.write(f"//   {variable}: {size}\n")
+            out.write("\n")
+        return 0
+
+    for name in names:
         result = engine.analyze_function(name)
         out.write(f"// condition: {result.config.name}\n")
         out.write(pretty_body(result.body, result.annotations()) + "\n")
@@ -539,12 +590,14 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         raise ReproError("`stats` needs a FILE (or --campaign REPORT_JSON)")
 
     # Table sizes / density / dirty-bit counts only exist on the indexed
-    # substrate; the condition flags still select what is analysed.
+    # substrates (bitset + vector); the condition flags still select what
+    # is analysed.
     config = _config_from_args(args)
-    if config.engine != "bitset":
+    if config.engine not in ("bitset", "vector"):
         raise ReproError(
             "`stats` reports interning-table/bitset metrics, which only the "
-            "bitset engine has; drop --engine or pass --engine bitset"
+            "indexed engines have; drop --engine or pass --engine bitset "
+            "or --engine vector"
         )
     engine = FlowEngine.from_source(_read_source(args.file), config=config)
     rows = []
@@ -1161,6 +1214,7 @@ def cmd_eval(args: argparse.Namespace, out) -> int:
         dirs=list(args.dirs),
         workers=args.workers,
         chunk_size=args.chunk_size,
+        engine=args.engine,
         oracles=args.oracles.split(",") if args.oracles else None,
         inject=args.inject,
         out_dir=args.out_dir,

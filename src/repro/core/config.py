@@ -41,16 +41,19 @@ class AnalysisConfig:
     track_control_deps: bool = True
     # Which dataflow substrate runs the analysis.  "bitset" (the default) is
     # the indexed engine: places/locations interned to dense ints, Θ stored
-    # as an int-bitset matrix with in-place bitwise-or joins.  "object" is
-    # the legacy Dict[Place, FrozenSet[Location]] domain, kept for one
-    # release as the differential-testing reference; both produce identical
-    # results on every query.
+    # as an int-bitset matrix with in-place bitwise-or joins.  "vector"
+    # packs the same matrix into one contiguous numpy uint64 word array so
+    # joins and transfer gathers/scatters are vectorized row operations
+    # (requires numpy).  "object" is the legacy Dict[Place, FrozenSet[Location]]
+    # domain, kept as the differential-testing reference; all three produce
+    # identical results on every query.
     engine: str = "bitset"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("bitset", "object"):
+        if self.engine not in ("bitset", "vector", "object"):
             raise ValueError(
-                f"unknown analysis engine {self.engine!r} (expected 'bitset' or 'object')"
+                f"unknown analysis engine {self.engine!r} "
+                "(expected 'bitset', 'vector', or 'object')"
             )
 
     @property

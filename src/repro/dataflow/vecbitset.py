@@ -1,0 +1,347 @@
+"""Vectorized uint64 word matrices: the storage layer of the vector engine.
+
+The int-bitset substrate (:mod:`repro.dataflow.bitset`) already turned the
+Θ-lattice operations into C-level big-int arithmetic, but the matrix itself
+is still a Python dict of heap-allocated ints: every join walks rows one at
+a time, every state copy rebuilds a dict.  This module packs a whole
+function body's Θ into **one contiguous 2-D numpy array** of ``uint64``
+words — ``places × ceil(locations / 64)`` — the same memory layout rustc's
+``BitMatrix`` uses:
+
+* **join** is a single ``np.bitwise_or(dst, src, out=dst)`` over the whole
+  matrix plus one vectorized dirty-word reduction (``np.any(src & ~dst)``),
+* **row gathers** (conflict-mask reads) are one fancy-index +
+  ``np.bitwise_or.reduce`` over the conflicting rows,
+* **row scatters** (strong/weak writes) are one fancy-indexed ``|=`` or
+  assignment,
+* **copy** is one ``memcpy``.
+
+The location domain is fully pre-interned by :func:`repro.mir.indices.index_body`
+(argument tags first, then every body location), so the word count per row is
+fixed for the lifetime of an analysis; the place domain is append-only, so
+row *capacity* grows by amortised doubling.  Rows keep a parallel Python-int
+``keys_mask`` of materialised rows — the same tracked-row bitset the int
+engine maintains — because the conflict-mask walks of the dependency context
+intersect against ancestor/descendant masks that live as Python ints in
+:class:`~repro.mir.indices.PlaceDomain`.
+
+Invariant: **untracked rows are all-zero.**  Rows are only ever materialised
+(never dropped), so equality and fingerprints can compare raw words.
+
+numpy is an optional dependency of the wider package (the bitset and object
+engines are pure Python); this module hosts the one guarded import that the
+vector engine and :mod:`repro.eval.stats` share.  Everything degrades to a
+clear :class:`RuntimeError` rather than an ``ImportError`` at call time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # The one place numpy is imported; everything else goes through here.
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+WORD_BITS = 64
+
+
+def require_numpy(feature: str):
+    """The shared numpy guard: returns the module or raises a clear error.
+
+    Used by the vector engine (``AnalysisConfig(engine="vector")``) and the
+    statistics helpers; the message names the feature so a missing optional
+    dependency is a one-line diagnosis, not an ``AttributeError`` deep in a
+    kernel.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            f"{feature} requires numpy, which is not installed; "
+            "install numpy or use the pure-Python engines "
+            "(engine='bitset' or engine='object')"
+        )
+    return np
+
+
+def words_for(num_bits: int) -> int:
+    """How many 64-bit words a row of ``num_bits`` columns needs (min 1)."""
+    return max(1, (num_bits + WORD_BITS - 1) // WORD_BITS)
+
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def int_to_words(bits: int, num_words: int):
+    """A Python int bitset as a fresh ``(num_words,)`` uint64 array.
+
+    Raises ``OverflowError`` when ``bits`` does not fit — the location domain
+    is frozen after :func:`~repro.mir.indices.index_body`, so an overflow is
+    a logic error, not a resize request.
+    """
+    if num_words == 1:
+        if bits > _WORD_MASK:
+            raise OverflowError("int too big to convert")
+        return np.array([bits], dtype=np.uint64)
+    if num_words <= 4:
+        if bits >> (num_words * WORD_BITS):
+            raise OverflowError("int too big to convert")
+        return np.array(
+            [(bits >> (WORD_BITS * i)) & _WORD_MASK for i in range(num_words)],
+            dtype=np.uint64,
+        )
+    return np.frombuffer(
+        bits.to_bytes(num_words * 8, "little"), dtype="<u8"
+    ).astype(np.uint64, copy=True)
+
+
+def words_to_int(row) -> int:
+    """The Python int bitset of one word row (the boundary conversion)."""
+    return int.from_bytes(np.ascontiguousarray(row, dtype="<u8").tobytes(), "little")
+
+
+def iter_mask(mask: int) -> Iterator[int]:
+    """Indices of the set bits of a Python-int mask, ascending."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+def mask_rows(mask: int) -> List[int]:
+    """The set-bit indices of a mask as a list (fancy-index row selector)."""
+    out: List[int] = []
+    while mask:
+        lsb = mask & -mask
+        out.append(lsb.bit_length() - 1)
+        mask ^= lsb
+    return out
+
+
+class VecMatrix:
+    """A dense matrix of bit rows: one contiguous ``(capacity, W)`` uint64 array.
+
+    The drop-in vector counterpart of
+    :class:`~repro.dataflow.bitset.IndexMatrix`: the int-facing API (``row`` /
+    ``set_row`` / ``or_row`` / ``union_into`` / ``fingerprint``) has identical
+    semantics — including the dirty bits and the digest format, asserted
+    byte-identical by the cross-tier property tests — while the word-facing
+    API (``row_words`` / ``set_row_words`` / ``or_rows_words``) is what the
+    vectorized transfer function uses to stay out of Python-int space on the
+    hot path.
+    """
+
+    __slots__ = ("words", "keys_mask", "num_words")
+
+    def __init__(self, num_words: int, capacity: int = 0, words=None, keys_mask: int = 0):
+        require_numpy("the vector dataflow substrate (VecMatrix)")
+        self.num_words = num_words
+        if words is not None:
+            self.words = words
+        else:
+            self.words = np.zeros((max(capacity, 1), num_words), dtype=np.uint64)
+        self.keys_mask = keys_mask
+
+    # -- capacity ---------------------------------------------------------------
+
+    def _ensure(self, index: int) -> None:
+        """Grow row capacity (amortised doubling) to make ``index`` addressable."""
+        capacity = self.words.shape[0]
+        if index < capacity:
+            return
+        new_capacity = max(capacity * 2, index + 1)
+        grown = np.zeros((new_capacity, self.num_words), dtype=np.uint64)
+        grown[:capacity] = self.words
+        self.words = grown
+
+    # -- int-facing rows (IndexMatrix-compatible) --------------------------------
+
+    def __len__(self) -> int:
+        return self.keys_mask.bit_count()
+
+    def __contains__(self, row: int) -> bool:
+        return (self.keys_mask >> row) & 1 == 1
+
+    def row_indices(self) -> List[int]:
+        return mask_rows(self.keys_mask)
+
+    def row(self, index: int) -> int:
+        if not (self.keys_mask >> index) & 1:
+            return 0
+        return words_to_int(self.words[index])
+
+    def set_row(self, index: int, bits: int) -> None:
+        self._ensure(index)
+        self.words[index] = int_to_words(bits, self.num_words)
+        self.keys_mask |= 1 << index
+
+    def or_row(self, index: int, bits: int) -> bool:
+        """Union ``bits`` into one row; True when the row grew (dirty bit).
+
+        Like :meth:`IndexMatrix.or_row`, materialising an absent row is dirty
+        even when ``bits`` is empty — a tracked place with no dependencies is
+        different from an untracked place.
+        """
+        bit = 1 << index
+        if not (self.keys_mask & bit):
+            self.set_row(index, bits)
+            return True
+        before = self.row(index)
+        after = before | bits
+        if after != before:
+            self.words[index] = int_to_words(after, self.num_words)
+            return True
+        return False
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for index in mask_rows(self.keys_mask):
+            yield index, words_to_int(self.words[index])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VecMatrix):
+            return self.equals(other)
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("VecMatrix is mutable and unhashable")
+
+    # -- word-facing rows (the hot path) -----------------------------------------
+
+    def row_words(self, index: int):
+        """One row as a ``(W,)`` view — callers must not mutate it."""
+        return self.words[index]
+
+    def set_row_words(self, index: int, row_words) -> None:
+        words = self.words
+        if index >= words.shape[0]:
+            self._ensure(index)
+            words = self.words
+        words[index] = row_words
+        self.keys_mask |= 1 << index
+
+    # Fancy indexing (words[list_of_rows]) costs ~5x a short loop of basic
+    # row indexing at row counts below ~8 (the list→array conversion
+    # dominates), and almost every gather/scatter of the transfer function
+    # touches only a handful of conflict rows — so both batched operations
+    # switch strategy on the row count.
+    _SMALL_ROWS = 8
+
+    def or_rows_words(self, rows: List[int], row_words) -> None:
+        """Scatter: union one word vector into many rows at once."""
+        words = self.words
+        if len(rows) <= self._SMALL_ROWS:
+            for index in rows:
+                np.bitwise_or(words[index], row_words, out=words[index])
+        else:
+            words[rows] |= row_words
+
+    def gather_or(self, rows: List[int]):
+        """The union of ``rows`` as a fresh ``(W,)`` vector (one reduce)."""
+        words = self.words
+        count = len(rows)
+        if count == 0:
+            return np.zeros(self.num_words, dtype=np.uint64)
+        if count == 1:
+            return words[rows[0]].copy()
+        if count <= self._SMALL_ROWS:
+            acc = np.bitwise_or(words[rows[0]], words[rows[1]])
+            for index in rows[2:]:
+                np.bitwise_or(acc, words[index], out=acc)
+            return acc
+        return np.bitwise_or.reduce(words[rows], axis=0)
+
+    # -- whole-matrix operations -------------------------------------------------
+
+    def union_into(self, other: "VecMatrix") -> bool:
+        """In-place union of ``other`` into self; returns the dirty bit.
+
+        The join of the vector fixpoint: one whole-matrix ``bitwise_or`` and
+        one vectorized new-bit reduction, no per-row Python loop.  A row
+        materialised by ``other`` but absent here is dirty even if all-zero,
+        matching :meth:`IndexMatrix.union_into`.
+        """
+        if other.keys_mask == 0:
+            return False
+        src_rows = other.words.shape[0]
+        self._ensure(src_rows - 1)
+        dst = self.words[:src_rows]
+        src = other.words[:src_rows]
+        dirty = bool(other.keys_mask & ~self.keys_mask) or bool(np.any(src & ~dst))
+        np.bitwise_or(dst, src, out=dst)
+        self.keys_mask |= other.keys_mask
+        return dirty
+
+    def union(self, other: "VecMatrix") -> "VecMatrix":
+        """Out-of-place union: one array copy plus one ``bitwise_or``.
+
+        The allocation-minimal form of ``copy().union_into(other)`` for
+        callers that do not need the dirty bit (e.g. Θ's out-of-place
+        ``join``).
+        """
+        a, b = self.words, other.words
+        if a.shape[0] < b.shape[0]:
+            a, b = b, a
+        merged = a.copy()
+        prefix = merged[: b.shape[0]]
+        np.bitwise_or(prefix, b, out=prefix)
+        return VecMatrix(
+            self.num_words, words=merged, keys_mask=self.keys_mask | other.keys_mask
+        )
+
+    def copy(self) -> "VecMatrix":
+        return VecMatrix(
+            self.num_words, words=self.words.copy(), keys_mask=self.keys_mask
+        )
+
+    def equals(self, other: "VecMatrix") -> bool:
+        if self.keys_mask != other.keys_mask:
+            return False
+        common = min(self.words.shape[0], other.words.shape[0])
+        # Untracked rows are all-zero, so any rows beyond the shorter
+        # capacity are equal iff the longer side is zero there; tracked rows
+        # always fit both capacities when the key masks agree.
+        if not np.array_equal(self.words[:common], other.words[:common]):
+            return False
+        longer = self.words if self.words.shape[0] > common else other.words
+        return not np.any(longer[common:])
+
+    def popcount_total(self) -> int:
+        """Total number of set bits across all rows (Θ's ``total_size``)."""
+        return int(np.bitwise_count(self.words).sum())
+
+    def density(self, num_rows: int, num_cols: int) -> float:
+        """Fraction of set bits over a ``num_rows × num_cols`` dense grid."""
+        cells = num_rows * num_cols
+        if cells <= 0:
+            return 0.0
+        return self.popcount_total() / cells
+
+    def to_rows_dict(self) -> Dict[int, int]:
+        """The materialised rows as an ``IndexMatrix``-style dict."""
+        return {index: bits for index, bits in self.items()}
+
+    def fingerprint(self) -> str:
+        """Byte-identical to :meth:`IndexMatrix.fingerprint` on equal content.
+
+        Cache keys must never diverge by engine tier, so the digest is
+        computed over the same ``index:hex`` rendering of sorted materialised
+        rows; the cross-tier property test in ``tests/test_vecbitset.py``
+        pins this equality over random matrices.
+        """
+        joined = "|".join(
+            f"{index}:{format(bits, 'x')}" for index, bits in self.items()
+        )
+        return hashlib.sha256(joined.encode("ascii")).hexdigest()[:16]
+
+
+def matrix_from_int_rows(rows: Dict[int, int], num_bits: int) -> "VecMatrix":
+    """Build a :class:`VecMatrix` from ``IndexMatrix``-style int rows."""
+    num_words = words_for(num_bits)
+    capacity = (max(rows) + 1) if rows else 0
+    matrix = VecMatrix(num_words, capacity=capacity)
+    for index, bits in rows.items():
+        matrix.set_row(index, bits)
+    return matrix

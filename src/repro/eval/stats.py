@@ -21,6 +21,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+# One process-wide answer to "is numpy available": the same guarded import
+# the vectorized dataflow kernels use, hoisted to module level so the
+# regression below and the tier-3 engine can never disagree about it.
+from repro.dataflow.vecbitset import HAVE_NUMPY, np
+
 
 VarKey = Tuple[str, str, str]  # (crate, function, variable)
 
@@ -295,10 +300,11 @@ def interaction_regression(
     per-variable size tables measured under that condition (whole-program
     disabled), i.e. the 2×2 sub-grid of the paper's 2³ design.
     """
+    if not HAVE_NUMPY:
+        raise RuntimeError("interaction_regression requires numpy and scipy")
     try:
-        import numpy as np
         from scipy import stats
-    except ImportError as exc:  # pragma: no cover - numpy/scipy are installed in CI
+    except ImportError as exc:  # pragma: no cover - scipy is installed in CI
         raise RuntimeError("interaction_regression requires numpy and scipy") from exc
 
     rows: List[Tuple[float, float, float]] = []

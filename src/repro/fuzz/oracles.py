@@ -149,24 +149,35 @@ def _engine_snapshot(prep: PreparedProgram, config: AnalysisConfig) -> Dict[str,
 
 
 def oracle_engine_equivalence(prep: PreparedProgram) -> OracleVerdict:
-    """Bitset and object engines must agree under Modular and Whole-program."""
+    """All engine tiers must agree under Modular and Whole-program.
+
+    The object engine is the referee; bitset always participates, and the
+    vector (numpy) tier joins whenever numpy is importable — so every fuzz
+    campaign and mass run on a numpy-equipped machine is also a three-way
+    differential pass.
+    """
     import dataclasses
 
+    from repro.dataflow.vecbitset import HAVE_NUMPY
+
+    tiers = ("bitset", "vector", "object") if HAVE_NUMPY else ("bitset", "object")
     for base in (MODULAR, WHOLE_PROGRAM):
         snapshots = {
             name: _engine_snapshot(prep, dataclasses.replace(base, engine=name))
-            for name in ("bitset", "object")
+            for name in tiers
         }
-        if snapshots["bitset"] != snapshots["object"]:
+        for name in tiers:
+            if name == "object" or snapshots[name] == snapshots["object"]:
+                continue
             diverged = sorted(
-                fn for fn in snapshots["bitset"]
-                if snapshots["bitset"][fn] != snapshots["object"].get(fn)
+                fn for fn in snapshots[name]
+                if snapshots[name][fn] != snapshots["object"].get(fn)
             )
             return OracleVerdict(
                 "engine_equivalence",
                 ok=False,
                 detail=f"engine_divergence: condition={base.name} "
-                f"functions={diverged[:3]}",
+                f"engine={name} functions={diverged[:3]}",
             )
     return OracleVerdict("engine_equivalence", ok=True)
 

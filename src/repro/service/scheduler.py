@@ -128,6 +128,75 @@ def schedule_waves(graph: CallGraph, names: Sequence[str]) -> List[List[str]]:
     return waves
 
 
+def run_waves(
+    worker,
+    waves: Sequence[Sequence],
+    *,
+    max_workers: Optional[int] = None,
+    chunk_size: int = 8,
+    parallel: Optional[bool] = None,
+    initializer=None,
+    initargs: tuple = (),
+):
+    """Fan each wave of tasks across ONE persistent process pool, with a
+    barrier between waves.
+
+    The SCC-parallel fixpoint driver: ``waves`` come from
+    :func:`schedule_waves` (or any condensation of a dependency graph), so
+    tasks within a wave are mutually independent — the unit of parallelism —
+    while the inter-wave barrier preserves the callees-first contract that
+    makes bottom-up summaries sound.  The pool persists across waves, so
+    worker start-up (re-parsing the workspace) is paid once per batch, not
+    once per wave.
+
+    ``worker``/``initializer`` follow :func:`map_shards`' conventions, and so
+    does the degrade contract: any pool failure falls back to running the
+    same chunks serially in-process.  Returns ``(mode, wave_results, error)``
+    where ``wave_results`` has one list per wave concatenating its chunk
+    results in task order.
+    """
+    staged = [list(wave) for wave in waves]
+    total = sum(len(wave) for wave in staged)
+    size = max(1, chunk_size)
+
+    def chunked(items: List) -> List[List]:
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def run_serial() -> List[List]:
+        if initializer is not None:
+            initializer(*initargs)
+        out: List[List] = []
+        for index, wave in enumerate(staged):
+            wave_out: List = []
+            with obs_span("wave", index=index, size=len(wave)):
+                for chunk in chunked(wave):
+                    wave_out.extend(worker(chunk))
+            out.append(wave_out)
+        return out
+
+    want_parallel = (
+        parallel if parallel is not None else (max_workers or 0) > 1 and total > 1
+    )
+    if not want_parallel:
+        return "serial", run_serial(), None
+    try:
+        out: List[List] = []
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for index, wave in enumerate(staged):
+                wave_out: List = []
+                # Worker processes' spans are invisible here; the wave span
+                # measures the fan-out wall time at the barrier.
+                with obs_span("wave", index=index, size=len(wave), parallel=True):
+                    for payload in pool.map(worker, chunked(wave)):
+                        wave_out.extend(payload)
+                out.append(wave_out)
+        return "parallel", out, None
+    except Exception as error:  # pool unavailable: degrade, don't fail
+        return "serial-fallback", run_serial(), f"{type(error).__name__}: {error}"
+
+
 def map_shards(
     worker,
     tasks: Sequence,
@@ -218,6 +287,81 @@ def _analyze_batch(names: List[str]) -> List[dict]:
         fingerprint = _WORKER_FP.record_fingerprint(name, _WORKER_ENGINE.config)
         out.append(FunctionRecord.from_result(result, fingerprint, condition).to_json_dict())
     return out
+
+
+def _render_batch(names: List[str]) -> List[tuple]:
+    """Analyse + pretty-render a batch (the ``repro analyze --workers`` unit).
+
+    Returns ``(name, rendered body, dependency sizes)`` tuples so the CLI can
+    reassemble its serial output byte-for-byte regardless of wave order.
+    """
+    from repro.mir.pretty import pretty_body
+
+    assert _WORKER_ENGINE is not None
+    out: List[tuple] = []
+    for name in names:
+        result = _WORKER_ENGINE.analyze_function(name)
+        out.append(
+            (
+                name,
+                pretty_body(result.body, result.annotations()),
+                dict(result.dependency_sizes()),
+            )
+        )
+    return out
+
+
+# -- corpus-level wave workers -------------------------------------------------
+#
+# The same wave protocol lifted to many crates at once: tasks are
+# (crate index, function name) pairs, wave i merges wave i of every crate's
+# own condensation, and worker state is the list of engines rebuilt from the
+# crates' sources.  This is the fan-out the three-way engine benchmark and
+# batch `repro analyze --workers` ride on.
+
+_CORPUS_ENGINES: Optional[List[FlowEngine]] = None
+
+
+def _init_corpus_worker(sources: List[tuple], config_kwargs: dict) -> None:
+    global _CORPUS_ENGINES
+    config = AnalysisConfig(**config_kwargs)
+    engines: List[FlowEngine] = []
+    for source, local_crate in sources:
+        program = parse_program(source, local_crate=local_crate)
+        engines.append(FlowEngine(check_program(program), config=config))
+    _CORPUS_ENGINES = engines
+
+
+def _corpus_sizes_batch(tasks: List[tuple]) -> List[tuple]:
+    """Analyse ``(crate index, fn name)`` tasks; returns dependency sizes."""
+    assert _CORPUS_ENGINES is not None
+    out: List[tuple] = []
+    for crate_index, fn_name in tasks:
+        result = _CORPUS_ENGINES[crate_index].analyze_function(fn_name)
+        out.append((crate_index, fn_name, result.dependency_sizes()))
+    return out
+
+
+def corpus_waves(engines: Sequence[FlowEngine]) -> List[List[tuple]]:
+    """Merge each crate's SCC waves position-wise into global corpus waves.
+
+    Wave ``i`` of the result holds wave ``i`` of every crate — sound because
+    crates are independent of each other, so only the intra-crate
+    callees-first order constrains scheduling.
+    """
+    per_crate = [
+        schedule_waves(engine.call_graph, engine.local_function_names())
+        for engine in engines
+    ]
+    depth = max((len(waves) for waves in per_crate), default=0)
+    merged: List[List[tuple]] = []
+    for level in range(depth):
+        wave: List[tuple] = []
+        for crate_index, waves in enumerate(per_crate):
+            if level < len(waves):
+                wave.extend((crate_index, name) for name in waves[level])
+        merged.append(wave)
+    return merged
 
 
 @dataclass
@@ -311,9 +455,10 @@ class BatchScheduler:
         can_parallel = source is not None and (self.max_workers or 2) > 1
         if want_parallel and can_parallel:
             try:
-                self._run_parallel(engine, source, waves, set(to_compute), result)
-                result.mode = "parallel"
-            except Exception as error:  # pool unavailable: degrade, don't fail
+                mode, error = self._run_parallel(engine, source, waves, set(to_compute), result)
+                result.mode = mode
+                result.error = error
+            except Exception as error:  # worker rebuild failed: degrade, don't fail
                 result.records.clear()
                 result.error = f"{type(error).__name__}: {error}"
                 self._run_serial(engine, waves, to_compute, fingerprints, condition, result)
@@ -373,25 +518,27 @@ class BatchScheduler:
         waves: List[List[str]],
         to_compute: set,
         result: BatchResult,
-    ) -> None:
+    ):
+        """Fan the scheduled waves across :func:`run_waves`' persistent pool.
+
+        Returns ``(mode, error)`` from the wave driver; a pool failure is
+        absorbed there (the same chunks run serially in-process against a
+        worker engine rebuilt from ``source``), so records are valid in every
+        mode.
+        """
         config_kwargs = dataclasses.asdict(engine.config)
-        with ProcessPoolExecutor(
+        scheduled = [[n for n in wave if n in to_compute] for wave in waves]
+        mode, wave_results, error = run_waves(
+            _analyze_batch,
+            scheduled,
             max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            parallel=True,
             initializer=_init_worker,
             initargs=(source, engine.local_crate, config_kwargs),
-        ) as pool:
-            for index, wave in enumerate(waves):
-                wave_names = [n for n in wave if n in to_compute]
-                if not wave_names:
-                    continue
-                chunks = [
-                    wave_names[i : i + self.chunk_size]
-                    for i in range(0, len(wave_names), self.chunk_size)
-                ]
-                # Workers are separate processes: their spans are invisible
-                # here, so the wave span measures the fan-out wall time.
-                with obs_span("wave", index=index, size=len(wave_names), parallel=True):
-                    for payload in pool.map(_analyze_batch, chunks):
-                        for data in payload:
-                            record = FunctionRecord.from_json_dict(data)
-                            result.records[record.fn_name] = record
+        )
+        for payload in wave_results:
+            for data in payload:
+                record = FunctionRecord.from_json_dict(data)
+                result.records[record.fn_name] = record
+        return mode, error

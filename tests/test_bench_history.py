@@ -10,6 +10,7 @@ import time
 
 import pytest
 
+from repro.dataflow.vecbitset import HAVE_NUMPY
 from repro.eval.bench import (
     BENCH_SUITE,
     TRACKED,
@@ -290,11 +291,17 @@ class TestRunner:
         ledger = HistoryLedger(tmp_path)
         for ts in (100.0, 200.0):
             metrics, config = run_suite(scale=0.02, only=["theta_join"])
-            assert set(metrics) == {
+            expected = {
                 "theta_join.speedup",
                 "theta_join.object_us_per_join",
                 "theta_join.bitset_us_per_join",
             }
+            if HAVE_NUMPY:
+                expected |= {
+                    "theta_join.vector_speedup",
+                    "theta_join.vector_us_per_join",
+                }
+            assert set(metrics) == expected
             record_run(ledger, metrics, timestamp=ts, config=config)
         report = bench_report(ledger)
         by_metric = {row["metric"]: row for row in report["metrics"]}

@@ -1,10 +1,10 @@
-"""Differential property test: bitset engine ≡ legacy object engine.
+"""Differential property tests: indexed engines ≡ legacy object engine.
 
-The indexed bitset substrate is only allowed to be *fast*; every observable
-result must be identical to the legacy object domain it replaces.  For every
-crate of the (scaled-down) evaluation corpus and every one of the 2³
-analysis conditions of Table 2, both engines are run over every local
-function and compared on:
+The bitset and vector substrates are only allowed to be *fast*; every
+observable result must be identical to the legacy object domain they
+replace.  For every crate of the (scaled-down) evaluation corpus and every
+one of the 2³ analysis conditions of Table 2, each indexed tier is run over
+every local function and compared against the object referee on:
 
 * the tracked places and exit-Θ dependency sets (``exit_theta.items()``),
 * the per-variable dependency sizes (the Figure 2 measurement),
@@ -14,6 +14,10 @@ function and compared on:
 * the serialised :class:`~repro.focus.table.FocusTable` (focus/slice
   answers).
 
+A wider but shallower sweep then drives 200 generated fuzz programs through
+all tiers under both Modular and Whole-program, comparing exit-Θ and sizes —
+the breadth axis the hand-written corpus cannot cover.
+
 Warm-vs-cold byte-equality of service answers is covered separately by
 ``test_service_cache.py``; this file pins the engine axis.
 """
@@ -22,45 +26,76 @@ import dataclasses
 
 import pytest
 
-from repro.core.config import all_conditions
+from repro.core.config import MODULAR, WHOLE_PROGRAM, all_conditions
 from repro.core.engine import FlowEngine
-from repro.eval.corpus import generate_corpus
+from repro.dataflow.vecbitset import HAVE_NUMPY
+from repro.eval.corpus import generate_corpus, generate_fuzz_corpus
 from repro.focus.table import FocusTable
 from repro.service.cache import FunctionRecord
 
 CORPUS = generate_corpus(scale=0.06)
 
+# The object engine is the referee; each indexed tier must match it exactly.
+INDEXED_TIERS = ("bitset", "vector") if HAVE_NUMPY else ("bitset",)
 
+
+@pytest.mark.parametrize("tier", INDEXED_TIERS)
 @pytest.mark.parametrize(
     "condition", all_conditions(), ids=lambda c: c.name or "Modular"
 )
-def test_bitset_engine_matches_object_engine_on_corpus(condition):
+def test_indexed_engines_match_object_engine_on_corpus(condition, tier):
     for crate in CORPUS:
         object_engine = FlowEngine.from_source(
             crate.source, config=dataclasses.replace(condition, engine="object")
         )
-        bitset_engine = FlowEngine.from_source(
-            crate.source, config=dataclasses.replace(condition, engine="bitset")
+        tier_engine = FlowEngine.from_source(
+            crate.source, config=dataclasses.replace(condition, engine=tier)
         )
         for fn_name in object_engine.local_function_names():
             obj = object_engine.analyze_function(fn_name)
-            bit = bitset_engine.analyze_function(fn_name)
-            context = (condition.name, crate.name, fn_name)
+            idx = tier_engine.analyze_function(fn_name)
+            context = (tier, condition.name, crate.name, fn_name)
 
-            assert dict(obj.exit_theta.items()) == dict(bit.exit_theta.items()), context
-            assert obj.dependency_sizes() == bit.dependency_sizes(), context
-            assert obj.dependency_sizes(count_arg_tags=False) == bit.dependency_sizes(
+            assert dict(obj.exit_theta.items()) == dict(idx.exit_theta.items()), context
+            assert obj.dependency_sizes() == idx.dependency_sizes(), context
+            assert obj.dependency_sizes(count_arg_tags=False) == idx.dependency_sizes(
                 count_arg_tags=False
             ), context
-            assert obj.annotations() == bit.annotations(), context
+            assert obj.annotations() == idx.annotations(), context
 
             obj_record = FunctionRecord.from_result(obj, "fp", "cond").to_json_dict()
-            bit_record = FunctionRecord.from_result(bit, "fp", "cond").to_json_dict()
-            assert obj_record == bit_record, context
+            idx_record = FunctionRecord.from_result(idx, "fp", "cond").to_json_dict()
+            assert obj_record == idx_record, context
 
             obj_table = FocusTable.build(obj, fingerprint="fp").to_json_dict()
-            bit_table = FocusTable.build(bit, fingerprint="fp").to_json_dict()
-            assert obj_table == bit_table, context
+            idx_table = FocusTable.build(idx, fingerprint="fp").to_json_dict()
+            assert obj_table == idx_table, context
+
+
+@pytest.mark.parametrize(
+    "config", [MODULAR, WHOLE_PROGRAM], ids=["Modular", "Whole-program"]
+)
+def test_engines_agree_on_fuzz_sweep(config):
+    """200 generated programs through every tier: exit-Θ and sizes identical."""
+    engines = ("object",) + INDEXED_TIERS
+    for crate in generate_fuzz_corpus(count=200, seed=0, size="small"):
+        results = {}
+        for engine_name in engines:
+            engine = FlowEngine.from_source(
+                crate.source, config=dataclasses.replace(config, engine=engine_name)
+            )
+            results[engine_name] = {
+                fn_name: (
+                    dict(
+                        (result := engine.analyze_function(fn_name)).exit_theta.items()
+                    ),
+                    result.dependency_sizes(),
+                )
+                for fn_name in engine.local_function_names()
+            }
+        referee = results["object"]
+        for tier in INDEXED_TIERS:
+            assert results[tier] == referee, (tier, config.name, crate.name)
 
 
 def test_engine_field_is_validated():

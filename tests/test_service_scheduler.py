@@ -8,7 +8,12 @@ from repro.core.config import MODULAR, WHOLE_PROGRAM
 from repro.core.engine import FlowEngine
 from repro.mir.callgraph import build_call_graph
 from repro.service.cache import FingerprintIndex, SummaryStore
-from repro.service.scheduler import BatchScheduler, schedule_waves
+from repro.service.scheduler import (
+    BatchScheduler,
+    corpus_waves,
+    run_waves,
+    schedule_waves,
+)
 
 
 CHAIN_SOURCE = """
@@ -92,6 +97,82 @@ class TestSerialRuns:
         assert result.computed() == 4
         sizes = result.records["root"].dependency_sizes
         assert sizes == engine.analyze_function("root").dependency_sizes()
+
+
+def _double_chunk(chunk):
+    """Module-level (picklable) chunk worker for the pool path."""
+    return [2 * item for item in chunk]
+
+
+_INIT_FLAG = []
+
+
+def _flag_initializer(value):
+    _INIT_FLAG.append(value)
+
+
+class TestRunWaves:
+    WAVES = [[1, 2, 3], [4], [5, 6]]
+
+    def test_serial_preserves_wave_structure_and_order(self):
+        mode, results, error = run_waves(_double_chunk, self.WAVES, parallel=False)
+        assert mode == "serial"
+        assert error is None
+        assert results == [[2, 4, 6], [8], [10, 12]]
+
+    def test_parallel_matches_serial(self):
+        mode, results, error = run_waves(
+            _double_chunk, self.WAVES, max_workers=2, chunk_size=2
+        )
+        # Environments without working process pools degrade; results are
+        # identical either way — that is the contract under test.
+        assert mode in ("parallel", "serial-fallback")
+        assert results == [[2, 4, 6], [8], [10, 12]]
+
+    def test_unpicklable_worker_degrades_with_error(self):
+        mode, results, error = run_waves(
+            lambda chunk: [item + 1 for item in chunk],
+            [[1, 2]],
+            max_workers=2,
+            parallel=True,
+        )
+        assert mode == "serial-fallback"
+        assert error is not None
+        assert results == [[2, 3]]
+
+    def test_serial_path_runs_initializer_in_process(self):
+        _INIT_FLAG.clear()
+        mode, results, _ = run_waves(
+            _double_chunk,
+            [[7]],
+            parallel=False,
+            initializer=_flag_initializer,
+            initargs=("ready",),
+        )
+        assert mode == "serial"
+        assert _INIT_FLAG == ["ready"]
+        assert results == [[14]]
+
+    def test_empty_waves(self):
+        mode, results, error = run_waves(_double_chunk, [])
+        assert (mode, results, error) == ("serial", [], None)
+
+
+class TestCorpusWaves:
+    def test_waves_merge_position_wise_across_crates(self):
+        chain_engine, _ = engine_for(CHAIN_SOURCE)
+        cycle_engine, _ = engine_for(CYCLE_SOURCE)
+        waves = corpus_waves([chain_engine, cycle_engine])
+        # Wave i holds wave i of every crate: crates are independent, so only
+        # the intra-crate callees-first order constrains scheduling.
+        assert waves == [
+            [(0, "leaf"), (0, "lone"), (1, "ping"), (1, "pong")],
+            [(0, "mid"), (1, "top")],
+            [(0, "root")],
+        ]
+
+    def test_empty_corpus(self):
+        assert corpus_waves([]) == []
 
 
 class TestParallelPath:

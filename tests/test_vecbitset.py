@@ -1,0 +1,276 @@
+"""Tests for the vectorized word-matrix substrate (the tier-3 engine's core).
+
+Three layers:
+
+* unit tests of :class:`~repro.dataflow.vecbitset.VecMatrix` — dirty-bit
+  semantics, growth, equality across capacities, and both strategies of the
+  batched gather/scatter kernels (the small-row loop and the fancy-index
+  path);
+* a seeded property sweep pinning :meth:`VecMatrix.fingerprint` byte-identical
+  to :meth:`~repro.dataflow.bitset.IndexMatrix.fingerprint` on random
+  matrices driven through the same mutation sequence — cache keys must never
+  diverge by engine tier;
+* the missing-numpy degrade paths: every guarded entry point must raise the
+  one clear :class:`RuntimeError`, not an ``AttributeError`` deep in a kernel.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.dataflow import vecbitset
+from repro.dataflow.bitset import IndexMatrix
+from repro.dataflow.vecbitset import (
+    HAVE_NUMPY,
+    VecMatrix,
+    WORD_BITS,
+    int_to_words,
+    iter_mask,
+    mask_rows,
+    matrix_from_int_rows,
+    require_numpy,
+    words_for,
+    words_to_int,
+)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+class TestWordHelpers:
+    def test_words_for(self):
+        assert words_for(0) == 1
+        assert words_for(1) == 1
+        assert words_for(64) == 1
+        assert words_for(65) == 2
+        assert words_for(128) == 2
+        assert words_for(129) == 3
+
+    def test_mask_iteration(self):
+        assert list(iter_mask(0)) == []
+        assert list(iter_mask(0b1011)) == [0, 1, 3]
+        assert mask_rows((1 << 70) | 1) == [0, 70]
+
+    @needs_numpy
+    @pytest.mark.parametrize("num_words", [1, 2, 3, 4, 5, 9])
+    def test_int_words_roundtrip(self, num_words):
+        rng = random.Random(num_words)
+        for _ in range(20):
+            bits = rng.getrandbits(num_words * WORD_BITS)
+            row = int_to_words(bits, num_words)
+            assert row.shape == (num_words,)
+            assert words_to_int(row) == bits
+
+    @needs_numpy
+    @pytest.mark.parametrize("num_words", [1, 2, 4, 6])
+    def test_int_too_wide_overflows(self, num_words):
+        with pytest.raises(OverflowError):
+            int_to_words(1 << (num_words * WORD_BITS), num_words)
+
+
+@needs_numpy
+class TestVecMatrixRows:
+    def test_absent_rows_read_empty(self):
+        matrix = VecMatrix(num_words=2)
+        assert len(matrix) == 0
+        assert 3 not in matrix
+        assert matrix.row(3) == 0
+        assert matrix.to_rows_dict() == {}
+
+    def test_set_row_and_growth(self):
+        matrix = VecMatrix(num_words=2, capacity=1)
+        matrix.set_row(0, 0b101)
+        matrix.set_row(40, (1 << 100) | 1)  # forces _ensure doubling
+        assert matrix.words.shape[0] >= 41
+        assert matrix.row(0) == 0b101
+        assert matrix.row(40) == (1 << 100) | 1
+        assert matrix.row_indices() == [0, 40]
+        assert len(matrix) == 2
+
+    def test_or_row_dirty_bits(self):
+        matrix = VecMatrix(num_words=1)
+        # Materialising an absent row is dirty even with empty bits: a
+        # tracked place with no dependencies differs from an untracked one.
+        assert matrix.or_row(2, 0) is True
+        assert 2 in matrix and matrix.row(2) == 0
+        assert matrix.or_row(2, 0b11) is True
+        assert matrix.or_row(2, 0b01) is False  # subset: no new bits
+        assert matrix.row(2) == 0b11
+
+    def test_popcount_and_density(self):
+        matrix = VecMatrix(num_words=2)
+        matrix.set_row(0, 0b111)
+        matrix.set_row(5, 1 << 70)
+        assert matrix.popcount_total() == 4
+        assert matrix.density(2, 2) == 1.0
+        assert matrix.density(0, 10) == 0.0
+
+
+@needs_numpy
+class TestVecMatrixWholeOps:
+    def test_equals_across_capacities(self):
+        small = VecMatrix(num_words=1, capacity=2)
+        big = VecMatrix(num_words=1, capacity=64)
+        for matrix in (small, big):
+            matrix.set_row(1, 0b1010)
+        assert small.equals(big) and big.equals(small)
+        assert small == big
+        big.set_row(1, 0b1011)
+        assert not small.equals(big)
+        # Same rows, different key masks: not equal.
+        other = VecMatrix(num_words=1)
+        other.set_row(1, 0b1010)
+        other.set_row(2, 0)
+        assert not small.equals(other)
+
+    def test_matrices_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VecMatrix(num_words=1))
+
+    def test_union_into_dirty_semantics(self):
+        dst = VecMatrix(num_words=2)
+        src = VecMatrix(num_words=2)
+        assert dst.union_into(src) is False  # empty source: nothing to do
+        src.set_row(0, 0b1)
+        src.set_row(9, 0)  # materialised-but-empty row
+        assert dst.union_into(src) is True
+        assert dst.to_rows_dict() == {0: 0b1, 9: 0}
+        assert dst.union_into(src) is False  # subset: clean
+        src.set_row(0, 0b11)
+        assert dst.union_into(src) is True  # new bit in an existing row
+        assert dst.row(0) == 0b11
+
+    def test_union_matches_copy_then_union_into(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            a = matrix_from_int_rows(
+                {rng.randrange(30): rng.getrandbits(90) for _ in range(6)}, 90
+            )
+            b = matrix_from_int_rows(
+                {rng.randrange(50): rng.getrandbits(90) for _ in range(6)}, 90
+            )
+            expected = a.copy()
+            expected.union_into(b)
+            merged = a.union(b)
+            assert merged.equals(expected)
+            assert merged.fingerprint() == expected.fingerprint()
+            # Out-of-place: neither operand moved.
+            assert a.equals(a.copy()) and b.equals(b.copy())
+
+    def test_copy_is_independent(self):
+        matrix = VecMatrix(num_words=1)
+        matrix.set_row(0, 0b1)
+        clone = matrix.copy()
+        clone.set_row(0, 0b111)
+        assert matrix.row(0) == 0b1
+
+
+@needs_numpy
+class TestBatchedKernels:
+    """Both row-count strategies of the gather/scatter kernels."""
+
+    @pytest.mark.parametrize("num_rows", [0, 1, 3, 20])
+    def test_gather_or(self, num_rows):
+        rng = random.Random(num_rows)
+        rows = {i: rng.getrandbits(128) for i in range(max(num_rows, 1))}
+        matrix = matrix_from_int_rows(rows, 128)
+        picked = list(range(num_rows))
+        expected = 0
+        for index in picked:
+            expected |= rows[index]
+        assert words_to_int(matrix.gather_or(picked)) == expected
+
+    @pytest.mark.parametrize("num_rows", [1, 3, 20])
+    def test_or_rows_words(self, num_rows):
+        rng = random.Random(100 + num_rows)
+        rows = {i: rng.getrandbits(128) for i in range(num_rows)}
+        matrix = matrix_from_int_rows(rows, 128)
+        addend = rng.getrandbits(128)
+        matrix.or_rows_words(list(range(num_rows)), int_to_words(addend, 2))
+        for index in range(num_rows):
+            assert matrix.row(index) == rows[index] | addend
+
+    def test_row_words_set_row_words_roundtrip(self):
+        matrix = VecMatrix(num_words=3, capacity=1)
+        bits = (1 << 150) | (1 << 64) | 1
+        matrix.set_row_words(12, int_to_words(bits, 3))  # beyond capacity
+        assert 12 in matrix
+        assert words_to_int(matrix.row_words(12)) == bits
+
+
+@needs_numpy
+class TestFingerprintParity:
+    """IndexMatrix and VecMatrix must digest identical content identically."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_matrices_fingerprint_identically(self, seed):
+        rng = random.Random(seed)
+        num_bits = rng.randrange(1, 300)
+        rows = {
+            rng.randrange(64): rng.getrandbits(num_bits) for _ in range(rng.randrange(24))
+        }
+        indexed = IndexMatrix(dict(rows))
+        vec = matrix_from_int_rows(rows, num_bits)
+        assert vec.fingerprint() == indexed.fingerprint()
+        assert vec.popcount_total() == indexed.popcount_total()
+        assert vec.to_rows_dict() == dict(indexed.items())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parity_survives_mutation_sequences(self, seed):
+        rng = random.Random(1000 + seed)
+        num_bits = rng.randrange(1, 200)
+        num_words = words_for(num_bits)
+        indexed, vec = IndexMatrix(), VecMatrix(num_words)
+        for _ in range(60):
+            op = rng.randrange(3)
+            index = rng.randrange(40)
+            bits = rng.getrandbits(num_bits)
+            if op == 0:
+                indexed.set_row(index, bits)
+                vec.set_row(index, bits)
+            elif op == 1:
+                assert indexed.or_row(index, bits) == vec.or_row(index, bits)
+            else:
+                other_rows = {rng.randrange(40): rng.getrandbits(num_bits)}
+                assert indexed.union_into(
+                    IndexMatrix(dict(other_rows))
+                ) == vec.union_into(matrix_from_int_rows(other_rows, num_bits))
+            assert vec.keys_mask == indexed.keys_mask
+        assert vec.fingerprint() == indexed.fingerprint()
+        assert vec.to_rows_dict() == dict(indexed.items())
+
+
+class TestMissingNumpyDegrade:
+    """Every numpy-gated entry point raises the one clear RuntimeError."""
+
+    def test_require_numpy_error_names_the_feature(self, monkeypatch):
+        monkeypatch.setattr(vecbitset, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError) as excinfo:
+            require_numpy("the frobnicator")
+        message = str(excinfo.value)
+        assert "the frobnicator requires numpy" in message
+        assert "engine='bitset'" in message and "engine='object'" in message
+
+    def test_vecmatrix_requires_numpy(self, monkeypatch):
+        monkeypatch.setattr(vecbitset, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            VecMatrix(num_words=1)
+
+    def test_vector_engine_requires_numpy(self, monkeypatch):
+        from repro.core.config import MODULAR
+        from repro.core.engine import FlowEngine
+
+        monkeypatch.setattr(vecbitset, "HAVE_NUMPY", False)
+        engine = FlowEngine.from_source(
+            "fn f(x: u32) -> u32 { x + 1 }",
+            config=dataclasses.replace(MODULAR, engine="vector"),
+        )
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            engine.analyze_function("f")
+
+    def test_interaction_regression_requires_numpy(self, monkeypatch):
+        from repro.eval import stats
+
+        monkeypatch.setattr(stats, "HAVE_NUMPY", False)
+        with pytest.raises(RuntimeError, match="requires numpy and scipy"):
+            stats.interaction_regression({(False, False): {("c", "f", "x"): 1}})
