@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--workers", type=int, default=0,
                          help="analyse callees-first in SCC waves across a "
                               "process pool; 0 or 1 = serial (default: 0)")
+    analyze.add_argument("--trace", action="store_true",
+                         help="trace the run end-to-end (with --workers: worker "
+                              "span subtrees graft under their wave) and print "
+                              "the span tree plus fan-out utilization")
+    analyze.add_argument("--chrome", metavar="PATH",
+                         help="with --trace semantics: also write Chrome "
+                              "trace-event JSON (per-worker lanes) to PATH")
     _add_condition_flags(analyze)
 
     slice_cmd = sub.add_parser("slice", help="slice a function on a variable")
@@ -282,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--local-crate", default="main")
     trace_cmd.add_argument("--json", action="store_true",
                            help="print the span tree as JSON instead of text")
+    trace_cmd.add_argument("--min-self-ms", type=float, default=0.0,
+                           help="hide spans with self time below this many "
+                                "milliseconds (structure above kept spans "
+                                "survives; default: 0 = show all)")
+    trace_cmd.add_argument("--depth", type=int, default=None,
+                           help="hide spans nested deeper than DEPTH "
+                                "(root is depth 0; default: unlimited)")
     trace_cmd.add_argument("--chrome", metavar="PATH",
                            help="also write flamegraph-ready Chrome trace-event "
                                 "JSON (chrome://tracing / Perfetto) to PATH")
@@ -420,6 +434,20 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_cmd.add_argument("--no-traces", action="store_true",
                              help="with --slowlog: omit the span-tree exemplars")
 
+    top_cmd = sub.add_parser(
+        "top",
+        help="live terminal dashboard of a running `repro serve --port` server",
+    )
+    top_cmd.add_argument("--host", default="127.0.0.1")
+    top_cmd.add_argument("--port", type=int, required=True)
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between frames (default: 2)")
+    top_cmd.add_argument("--frames", type=int, default=None,
+                         help="render N frames then exit (default: until ^C)")
+    top_cmd.add_argument("--no-clear", action="store_true",
+                         help="do not clear the screen between frames "
+                              "(scripted/log-friendly output)")
+
     sub.add_parser("version", help="print the package version")
 
     query = sub.add_parser("query", help="one-shot query against the analysis service")
@@ -469,6 +497,7 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
     names = _selected_functions(engine, args.function)
 
     workers = getattr(args, "workers", 0) or 0
+    traced = bool(getattr(args, "trace", False) or getattr(args, "chrome", None))
     if workers > 1 and len(names) > 1:
         import dataclasses as _dataclasses
 
@@ -480,13 +509,28 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
         )
 
         waves = schedule_waves(engine.call_graph, names)
-        mode, wave_results, _error = run_waves(
-            _render_batch,
-            waves,
+        telemetry = None
+        trace = None
+        scheduled = dict(
+            worker=_render_batch,
+            waves=waves,
             max_workers=workers,
             initializer=_init_worker,
             initargs=(source, engine.local_crate, _dataclasses.asdict(config)),
         )
+        if traced:
+            # Telemetry is opt-in from the CLI: the untraced path stays
+            # byte-identical (and envelope-free) to keep overhead at zero.
+            from repro.obs import remote as obs_remote
+            from repro.obs import start_trace
+
+            telemetry = obs_remote.FanoutTelemetry(max_workers=workers)
+            with start_trace("analyze") as trace:
+                mode, wave_results, _error = run_waves(
+                    telemetry=telemetry, **scheduled
+                )
+        else:
+            mode, wave_results, _error = run_waves(**scheduled)
         rendered = {
             name: (body_text, sizes)
             for wave in wave_results
@@ -504,8 +548,22 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
             for variable, size in sorted(sizes.items()):
                 out.write(f"//   {variable}: {size}\n")
             out.write("\n")
+        if traced:
+            _write_analyze_trace(args, out, trace, telemetry)
         return 0
 
+    if traced:
+        from repro.obs import start_trace
+
+        with start_trace("analyze") as trace:
+            _analyze_serial(engine, names, out)
+        _write_analyze_trace(args, out, trace, None)
+        return 0
+    _analyze_serial(engine, names, out)
+    return 0
+
+
+def _analyze_serial(engine, names, out) -> None:
     for name in names:
         result = engine.analyze_function(name)
         out.write(f"// condition: {result.config.name}\n")
@@ -514,7 +572,26 @@ def cmd_analyze(args: argparse.Namespace, out) -> int:
         for variable, size in sorted(result.dependency_sizes().items()):
             out.write(f"//   {variable}: {size}\n")
         out.write("\n")
-    return 0
+
+
+def _write_analyze_trace(args, out, trace, telemetry) -> None:
+    """The ``analyze --trace`` trailer: span tree, fan-out stats, Chrome file."""
+    from repro.obs import render_span_tree
+    from repro.obs.export import write_chrome_trace
+
+    if trace is None:
+        out.write("// trace unavailable: observability is disabled\n")
+        return
+    out.write(f"// trace {trace.trace_id}\n")
+    out.write(render_span_tree(trace.to_dict()["root"]) + "\n")
+    if telemetry is not None:
+        from repro.obs.remote import render_fanout
+
+        for line in render_fanout(telemetry.to_json_dict()):
+            out.write(line + "\n")
+    if getattr(args, "chrome", None):
+        path = write_chrome_trace(args.chrome, trace)
+        out.write(f"// chrome trace written to {path}\n")
 
 
 def cmd_slice(args: argparse.Namespace, out) -> int:
@@ -975,7 +1052,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     """Traced one-shot analysis: span tree to stdout, optional Chrome export."""
     import json
 
-    from repro.obs import render_span_tree, start_trace
+    from repro.obs import filter_span_tree, render_span_tree, start_trace
     from repro.obs.export import write_chrome_trace
     from repro.service.session import AnalysisSession
 
@@ -988,6 +1065,13 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         out.write("error: observability is disabled in this process\n")
         return 2
     tree = trace.to_dict()
+    hidden = 0
+    min_self_ms = getattr(args, "min_self_ms", 0.0) or 0.0
+    max_depth = getattr(args, "depth", None)
+    if min_self_ms > 0.0 or max_depth is not None:
+        tree["root"], hidden = filter_span_tree(
+            tree["root"], min_self_ms=min_self_ms, max_depth=max_depth
+        )
     if args.json:
         out.write(json.dumps(tree, sort_keys=True) + "\n")
     else:
@@ -998,6 +1082,8 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
                 len(trace.spans()), trace.root.duration_ms
             )
         )
+        if hidden:
+            out.write(f"({hidden} span(s) hidden by --min-self-ms/--depth)\n")
     if args.chrome:
         path = write_chrome_trace(args.chrome, trace)
         out.write(f"chrome trace written to {path}\n")
@@ -1046,6 +1132,20 @@ def cmd_metrics(args: argparse.Namespace, out) -> int:
     else:
         out.write(json.dumps(result, sort_keys=True, indent=2) + "\n")
     return 0
+
+
+def cmd_top(args: argparse.Namespace, out) -> int:
+    """Live fleet dashboard against a running socket server."""
+    from repro.obs.dashboard import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        frames=args.frames,
+        out=out,
+        clear=not args.no_clear,
+    )
 
 
 def cmd_profile(args: argparse.Namespace, out) -> int:
@@ -1261,6 +1361,7 @@ _HANDLERS = {
     "bench": cmd_bench,
     "eval": cmd_eval,
     "metrics": cmd_metrics,
+    "top": cmd_top,
     "workspace": cmd_workspace,
     "version": cmd_version,
     "query": cmd_query,

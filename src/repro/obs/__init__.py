@@ -20,6 +20,12 @@ Plus the performance observatory built on top of them:
 * :mod:`repro.obs.slowlog` — tail-sampled slow-request exemplars and the
   per-method health windows behind the server's ``slowlog``/``health``
   methods.
+* :mod:`repro.obs.remote` — cross-process telemetry for the scheduler's
+  fan-out: trace carriers pickled into pool tasks, worker envelopes shipping
+  span subtrees + metric deltas back, and the :class:`FanoutTelemetry`
+  collector that grafts/folds them in the parent.
+* :mod:`repro.obs.dashboard` — the ``repro top`` terminal dashboard frames
+  built from a live server's metrics/health/slowlog responses.
 
 ``set_enabled(False)`` is the global kill switch; the disabled-path cost is
 gated (≤5% on the fig2 workload) by ``benchmarks/test_obs_overhead.py``.
@@ -58,14 +64,24 @@ from repro.obs.trace import (
     Span,
     Trace,
     active_span,
+    filter_span_tree,
     new_trace_id,
     render_span_tree,
     span,
     start_trace,
 )
+from repro.obs.export import help_text, register_help
+from repro.obs.remote import (
+    FanoutTelemetry,
+    TraceCarrier,
+    WorkerTelemetry,
+    render_fanout,
+    workers_in_trace,
+)
 
 __all__ = [
     "BenchRecord",
+    "FanoutTelemetry",
     "HealthTracker",
     "HistoryLedger",
     "MetricPolicy",
@@ -75,14 +91,20 @@ __all__ = [
     "SlowLog",
     "Span",
     "Trace",
+    "TraceCarrier",
+    "WorkerTelemetry",
     "active_span",
     "evaluate_metric",
+    "filter_span_tree",
     "flamegraph_html",
     "flamegraph_svg",
     "get_registry",
+    "help_text",
     "is_enabled",
     "new_trace_id",
     "parse_series",
+    "register_help",
+    "render_fanout",
     "render_span_tree",
     "series_name",
     "set_enabled",
@@ -90,6 +112,7 @@ __all__ = [
     "span",
     "stage",
     "start_trace",
+    "workers_in_trace",
 ]
 
 

@@ -26,6 +26,48 @@ def _prom_name(name: str) -> str:
     return "repro_" + _NAME_OK.sub("_", name)
 
 
+# ---------------------------------------------------------------------------
+# Help-text registry (the `# HELP` lines of the exposition format)
+# ---------------------------------------------------------------------------
+
+#: Registered family help texts, keyed by the *registry* metric name (before
+#: the ``repro_`` prefix).  Instrumented modules add theirs at import time
+#: via :func:`register_help`; families without an entry fall back to a
+#: generic line so every family still exposes exactly one ``# HELP``.
+_HELP_TEXTS = {
+    "requests_total": "Protocol requests handled, by method/status/protocol.",
+    "request_seconds": "End-to-end request latency, by method.",
+    "stage_seconds": "Pipeline stage wall time (parse, typecheck, fixpoint, ...).",
+    "cache_get_total": "Summary-cache lookups, by kind and serving tier (miss = neither).",
+    "cache_put_total": "Summary-cache writes, by kind.",
+    "lock_wait_seconds": "Time spent waiting for a workspace lock, by mode.",
+    "lock_hold_seconds": "Time a workspace lock was held, by mode.",
+    "server_inflight": "Requests currently executing in the socket server.",
+    "server_connections": "Open socket connections.",
+    "scheduler_wave_size": "Functions per SCC wave scheduled by the batch scheduler.",
+    "scheduler_batches_total": "Scheduled batches, by execution mode.",
+    "massrun_programs_total": "Mass-evaluation programs processed, by verdict.",
+    "massrun_program_seconds": "Per-program wall time in mass evaluation.",
+    "fanout_chunks_total": "Process-pool chunks dispatched, by worker.",
+    "fanout_busy_seconds": "Per-chunk worker busy time across fan-outs, by worker.",
+}
+
+
+def register_help(name: str, text: str) -> None:
+    """Register the ``# HELP`` text for a metric family (registry name)."""
+    _HELP_TEXTS[name] = text
+
+
+def help_text(name: str) -> Optional[str]:
+    """The registered help text for a registry metric name, if any."""
+    return _HELP_TEXTS.get(name)
+
+
+def _escape_help(text: str) -> str:
+    """HELP-line escaping: backslash and newline only (quotes stay)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: dict) -> str:
     if not labels:
         return ""
@@ -44,21 +86,24 @@ def render_prometheus(snapshot: dict) -> str:
 
     Hardened per the exposition-format contract: label values are
     backslash-escaped (``\\``, ``"``, newline), and series are *grouped by
-    family* — each family renders as one ``# TYPE`` line followed by every
-    one of its series, even when the snapshot interleaves series of
-    different families.  A family keeps the kind it was first seen with;
+    family* — each family renders as one ``# HELP`` line (registered text
+    via :func:`register_help`, escaped, generic fallback) and one ``# TYPE``
+    line followed by every one of its series, even when the snapshot
+    interleaves series of different families.  A family keeps the kind it was first seen with;
     a same-named series of a different kind is dropped rather than
     emitted under a contradictory ``# TYPE``.
     """
     # family name -> (kind, [series lines]); insertion-ordered, so output
     # order follows first appearance in the snapshot.
     families: "dict[str, tuple[str, List[str]]]" = {}
+    raw_names: "dict[str, str]" = {}
 
-    def family(name: str, kind: str) -> Optional[List[str]]:
+    def family(name: str, kind: str, raw: str) -> Optional[List[str]]:
         known = families.get(name)
         if known is None:
             lines: List[str] = []
             families[name] = (kind, lines)
+            raw_names[name] = raw
             return lines
         if known[0] != kind:
             return None
@@ -67,19 +112,19 @@ def render_prometheus(snapshot: dict) -> str:
     for series, value in snapshot.get("counters", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        lines = family(prom, "counter")
+        lines = family(prom, "counter", name)
         if lines is not None:
             lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
     for series, value in snapshot.get("gauges", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        lines = family(prom, "gauge")
+        lines = family(prom, "gauge", name)
         if lines is not None:
             lines.append(f"{prom}{_prom_labels(labels)} {value:g}")
     for series, hist in snapshot.get("histograms", {}).items():
         name, labels = parse_series(series)
         prom = _prom_name(name)
-        lines = family(prom, "histogram")
+        lines = family(prom, "histogram", name)
         if lines is None:
             continue
         for bound, cumulative in hist.get("buckets", []):
@@ -92,6 +137,9 @@ def render_prometheus(snapshot: dict) -> str:
 
     out: List[str] = []
     for name, (kind, lines) in families.items():
+        raw = raw_names.get(name, name)
+        text = _HELP_TEXTS.get(raw) or f"repro metric {raw}."
+        out.append(f"# HELP {name} {_escape_help(text)}")
         out.append(f"# TYPE {name} {kind}")
         out.extend(lines)
     return "\n".join(out) + "\n"

@@ -1,0 +1,657 @@
+"""Cross-process telemetry: trace propagation and worker metrics shipping.
+
+The obs layer of PRs 6–7 is contextvar- and process-local: every span and
+metric recorded inside a :mod:`repro.service.scheduler` pool worker used to
+be silently discarded, so a traced ``--workers N`` run showed a parent that
+appeared idle while the workers did all the work.  This module carries
+telemetry across the process boundary in both directions:
+
+* **Down** — a :class:`TraceCarrier` (trace id + the parent's clock base +
+  the observability switches) is pickled into every pool task and seeds the
+  worker's ambient recorder, so worker-side ``span()``/``stage()`` calls
+  record exactly as they would in-process.
+
+* **Up** — each task returns a :class:`WorkerTelemetry` envelope alongside
+  its results: the serialized span subtree (timestamps already rebased onto
+  the parent's ``perf_counter_ns`` clock), the worker's full metrics delta
+  (including per-bucket histogram deltas, so folded counts reconcile
+  *exactly* against a serial run), and pid/rss/cpu-time samples.  The parent
+  grafts the span subtrees under the dispatching wave/shard span — one clock
+  base, so a Chrome export shows true wave parallelism with per-worker
+  lanes — and folds the metric deltas into its own registry under a
+  ``worker`` label.
+
+Clock rebasing: ``perf_counter_ns`` origins are not guaranteed comparable
+across processes, but wall clocks are shared.  The carrier ships the
+parent's ``wall_ns - perf_ns`` offset; the worker computes its own offset
+and shifts every span timestamp by the difference, landing the subtree
+directly on the parent's monotonic axis.
+
+:class:`FanoutTelemetry` is the parent-side collector the scheduler drives:
+it owns the carrier, absorbs envelopes as chunks complete, and aggregates
+per-wave utilization/straggler statistics (busy-fraction, max/median task
+skew, per-worker attribution) for ``warm`` responses, massrun reports, and
+``repro analyze --workers --trace``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import state
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    parse_series,
+)
+from repro.obs.trace import Span, new_trace_id, start_trace
+
+#: Name of the span a worker opens around one dispatched chunk; its
+#: ``worker`` attribute (the worker pid) is what assigns Chrome trace lanes.
+WORKER_SPAN = "worker_chunk"
+
+
+def _wall_perf_offset_ns() -> int:
+    """This process's ``wall_ns - perf_ns`` offset (the shared clock bridge)."""
+    return time.time_ns() - time.perf_counter_ns()
+
+
+# ---------------------------------------------------------------------------
+# The downward half: the trace-context carrier
+# ---------------------------------------------------------------------------
+
+
+class TraceCarrier:
+    """The parent's trace context, pickled into every pool task.
+
+    Carries everything a worker needs to record telemetry the parent can
+    merge: the trace id (one id spans the whole fan-out), whether the parent
+    actually has an active trace (``traced`` — metrics still ship when only
+    metrics are on), the global kill-switch state, and the parent's
+    wall/perf clock offset for rebasing.
+    """
+
+    __slots__ = ("trace_id", "enabled", "traced", "clock_offset_ns")
+
+    def __init__(
+        self,
+        trace_id: str,
+        enabled: bool,
+        traced: bool,
+        clock_offset_ns: int,
+    ):
+        self.trace_id = trace_id
+        self.enabled = enabled
+        self.traced = traced
+        self.clock_offset_ns = clock_offset_ns
+
+    @classmethod
+    def capture(cls, traced: Optional[bool] = None) -> "TraceCarrier":
+        """Snapshot the calling process's trace context.
+
+        ``traced`` defaults to whether an ambient span is open right now —
+        the scheduler calls this before opening its wave span, so passing
+        the intent explicitly is also supported.
+        """
+        from repro.obs.trace import active_span
+
+        if traced is None:
+            traced = active_span() is not None
+        return cls(
+            trace_id=new_trace_id(),
+            enabled=state.ENABLED,
+            traced=bool(traced) and state.ENABLED,
+            clock_offset_ns=_wall_perf_offset_ns(),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "enabled": self.enabled,
+            "traced": self.traced,
+            "clock_offset_ns": self.clock_offset_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceCarrier":
+        return cls(
+            trace_id=str(data.get("trace_id") or new_trace_id()),
+            enabled=bool(data.get("enabled", False)),
+            traced=bool(data.get("traced", False)),
+            clock_offset_ns=int(data.get("clock_offset_ns", 0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Wire form of a span subtree
+# ---------------------------------------------------------------------------
+#
+# Span.to_dict() is the human-facing form (durations in ms, no absolute
+# timestamps); merging needs the raw nanosecond endpoints, so subtrees cross
+# the process boundary in a separate wire form.
+
+
+def span_to_wire(span: Span, shift_ns: int = 0) -> dict:
+    """One span subtree with raw ``perf_counter_ns`` endpoints, recursively.
+
+    ``shift_ns`` is added to every endpoint — the worker uses it to rebase
+    its subtree onto the parent's clock before shipping.
+    """
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "start_ns": span.start_ns + shift_ns,
+        "end_ns": (span.end_ns if span.end_ns is not None else span.start_ns)
+        + shift_ns,
+        "children": [span_to_wire(child, shift_ns) for child in span.children],
+    }
+
+
+def wire_to_span(wire: dict, shift_ns: int = 0) -> Span:
+    """Rebuild a :class:`Span` tree from its wire form, shifting timestamps.
+
+    ``shift_ns`` is added to every endpoint — the worker ships subtrees
+    already rebased onto the parent clock, so the parent grafts with 0.
+    """
+    span = Span.__new__(Span)
+    span.name = str(wire.get("name", "?"))
+    span.attrs = dict(wire.get("attrs") or {})
+    span.start_ns = int(wire.get("start_ns", 0)) + shift_ns
+    span.end_ns = int(wire.get("end_ns", wire.get("start_ns", 0))) + shift_ns
+    span.children = [
+        wire_to_span(child, shift_ns) for child in wire.get("children") or ()
+    ]
+    return span
+
+
+def workers_in_trace(tree: Optional[dict]) -> List[str]:
+    """The distinct worker labels appearing in a ``Span.to_dict`` tree.
+
+    Used to attribute a slow request to the pool workers that served it;
+    sorted for stable output, empty for purely in-process requests.
+    """
+    if not tree:
+        return []
+    found: set = set()
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        worker = (node.get("attrs") or {}).get("worker")
+        if worker is not None:
+            found.add(str(worker))
+        stack.extend(node.get("children") or ())
+    return sorted(found)
+
+
+# ---------------------------------------------------------------------------
+# Exact metric deltas (bucket-preserving, unlike metrics.snapshot_delta)
+# ---------------------------------------------------------------------------
+
+
+def _per_bucket(hist: dict) -> Tuple[List[float], List[int]]:
+    """Bounds and per-bucket (non-cumulative) counts, overflow last."""
+    bounds: List[float] = []
+    per_bucket: List[int] = []
+    previous = 0
+    for bound, cumulative in hist.get("buckets") or []:
+        bounds.append(float(bound))
+        per_bucket.append(int(cumulative) - previous)
+        previous = int(cumulative)
+    per_bucket.append(int(hist.get("count", 0)) - previous)  # the +Inf bucket
+    return bounds, per_bucket
+
+
+def full_metrics_delta(before: dict, after: dict) -> dict:
+    """Like :func:`repro.obs.metrics.snapshot_delta`, but lossless.
+
+    Histogram entries keep their bucket bounds and *per-bucket* count
+    deltas, so the parent can replay the worker's observations into a
+    same-shaped histogram and the folded series sum exactly — bucket by
+    bucket — to what a serial run would have recorded.  Gauges are dropped:
+    they are process-local levels, meaningless summed across workers.
+    """
+    counters: Dict[str, float] = {}
+    for series, value in after.get("counters", {}).items():
+        diff = value - before.get("counters", {}).get(series, 0.0)
+        if diff:
+            counters[series] = diff
+    histograms: Dict[str, dict] = {}
+    for series, hist in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(series) or {}
+        count = int(hist.get("count", 0)) - int(prior.get("count", 0))
+        if not count:
+            continue
+        bounds, after_buckets = _per_bucket(hist)
+        _, before_buckets = _per_bucket(prior) if prior else (bounds, [0] * len(after_buckets))
+        if len(before_buckets) != len(after_buckets):
+            before_buckets = [0] * len(after_buckets)
+        histograms[series] = {
+            "count": count,
+            "sum": hist.get("sum", 0.0) - prior.get("sum", 0.0),
+            "min": hist.get("min"),
+            "max": hist.get("max"),
+            "bounds": bounds,
+            "bucket_deltas": [
+                a - b for a, b in zip(after_buckets, before_buckets)
+            ],
+        }
+    return {"counters": counters, "histograms": histograms}
+
+
+def fold_worker_metrics(
+    registry: MetricsRegistry, delta: dict, worker: str
+) -> int:
+    """Fold one worker's metric delta into ``registry`` under a ``worker`` label.
+
+    Returns the number of series folded.  Series that already carry a
+    ``worker`` label (a worker that itself fanned out) are folded under the
+    original label rather than double-nested.
+    """
+    folded = 0
+    for series, value in (delta.get("counters") or {}).items():
+        name, labels = parse_series(series)
+        labels.setdefault("worker", worker)
+        registry.counter(name, **labels).inc(value)
+        folded += 1
+    for series, hist in (delta.get("histograms") or {}).items():
+        name, labels = parse_series(series)
+        labels.setdefault("worker", worker)
+        bounds = tuple(hist.get("bounds") or ())
+        target = registry.histogram(name, buckets=bounds or None, **labels)
+        target.merge_delta(
+            count=int(hist.get("count", 0)),
+            total=float(hist.get("sum", 0.0)),
+            bucket_deltas=hist.get("bucket_deltas") or (),
+            observed_min=hist.get("min"),
+            observed_max=hist.get("max"),
+        )
+        folded += 1
+    return folded
+
+
+# ---------------------------------------------------------------------------
+# The upward half: the worker-telemetry envelope
+# ---------------------------------------------------------------------------
+
+
+class WorkerTelemetry:
+    """What one pool task ships back beside its results.
+
+    Plain-data (picklable) and already rebased: ``spans`` is the wire-form
+    subtree on the *parent's* clock, ``metrics`` the lossless delta of what
+    the chunk recorded, plus worker identity and resource samples.
+    """
+
+    __slots__ = (
+        "pid",
+        "meta",
+        "tasks",
+        "busy_ns",
+        "spans",
+        "metrics",
+        "max_rss_kb",
+        "cpu_seconds",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        meta: dict,
+        tasks: int,
+        busy_ns: int,
+        spans: Optional[dict],
+        metrics: dict,
+        max_rss_kb: int,
+        cpu_seconds: float,
+    ):
+        self.pid = pid
+        self.meta = meta
+        self.tasks = tasks
+        self.busy_ns = busy_ns
+        self.spans = spans
+        self.metrics = metrics
+        self.max_rss_kb = max_rss_kb
+        self.cpu_seconds = cpu_seconds
+
+
+def _rusage_sample() -> Tuple[float, int]:
+    """(cpu seconds, max rss kB) of this process; zeros where unsupported."""
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return usage.ru_utime + usage.ru_stime, int(usage.ru_maxrss)
+    except (ImportError, OSError):  # non-POSIX fallback
+        return 0.0, 0
+
+
+def run_instrumented(worker, chunk, carrier: TraceCarrier, meta: dict):
+    """Run ``worker(chunk)`` inside the carrier's context; capture an envelope.
+
+    The worker-process half of the fan-out protocol.  Returns
+    ``(envelope, results)`` where ``envelope`` is ``None`` whenever the
+    carrier says observability is off — the disabled path adds nothing but
+    one attribute check to the task.
+    """
+    if not carrier.enabled:
+        return None, worker(chunk)
+    registry = get_registry()
+    before = registry.snapshot()
+    cpu_before, _ = _rusage_sample()
+    start_ns = time.perf_counter_ns()
+    root_wire: Optional[dict] = None
+    if carrier.traced:
+        with start_trace(WORKER_SPAN, trace_id=carrier.trace_id) as trace:
+            if trace is not None:
+                trace.root.set(worker=os.getpid(), tasks=len(chunk), **meta)
+            results = worker(chunk)
+        if trace is not None:
+            shift = _wall_perf_offset_ns() - carrier.clock_offset_ns
+            root_wire = span_to_wire(trace.root, shift)
+    else:
+        results = worker(chunk)
+    busy_ns = time.perf_counter_ns() - start_ns
+    cpu_after, rss_kb = _rusage_sample()
+    envelope = WorkerTelemetry(
+        pid=os.getpid(),
+        meta=dict(meta),
+        tasks=len(chunk),
+        busy_ns=busy_ns,
+        spans=root_wire,
+        metrics=full_metrics_delta(before, registry.snapshot()),
+        max_rss_kb=rss_kb,
+        cpu_seconds=max(0.0, cpu_after - cpu_before),
+    )
+    return envelope, results
+
+
+# -- module-level pool glue (must pickle by reference) ------------------------
+
+_WRAPPED_WORKER = None
+_WRAPPED_CARRIER: Optional[TraceCarrier] = None
+
+
+def telemetry_init(worker, base_initializer, base_initargs, carrier_dict: dict) -> None:
+    """Pool initializer: run the consumer's initializer, then arm telemetry.
+
+    Stored module-globals make :func:`run_telemetry_chunk` picklable while
+    the wrapped worker stays exactly the function the consumer registered.
+    The worker process's kill switch is aligned with the parent's, so a
+    disabled parent never pays worker-side recording either.
+    """
+    global _WRAPPED_WORKER, _WRAPPED_CARRIER
+    carrier = TraceCarrier.from_dict(carrier_dict)
+    state.set_enabled(carrier.enabled)
+    if base_initializer is not None:
+        base_initializer(*base_initargs)
+    _WRAPPED_WORKER = worker
+    _WRAPPED_CARRIER = carrier
+
+
+def run_telemetry_chunk(payload):
+    """Pool task: ``(meta, chunk)`` → ``(envelope, results)``."""
+    meta, chunk = payload
+    assert _WRAPPED_WORKER is not None and _WRAPPED_CARRIER is not None
+    return run_instrumented(_WRAPPED_WORKER, chunk, _WRAPPED_CARRIER, meta)
+
+
+# ---------------------------------------------------------------------------
+# Parent-side collection and aggregation
+# ---------------------------------------------------------------------------
+
+
+def _percentile(ordered: List[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class FanoutTelemetry:
+    """Parent-side collector for one fan-out (a ``run_waves``/``map_shards`` call).
+
+    Owns the carrier shipped to workers, absorbs envelopes as chunks
+    complete (grafting span subtrees under the dispatching span and folding
+    metric deltas into the registry under a ``worker`` label), and
+    aggregates the per-wave utilization and straggler statistics the
+    ``warm`` response, massrun report, and ``repro top`` lanes are built
+    from.  Serial runs feed the same chunk accounting through
+    :meth:`record_local`, so utilization is reported in every mode.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        traced: Optional[bool] = None,
+    ):
+        self.carrier = TraceCarrier.capture(traced=traced)
+        self.registry = registry if registry is not None else get_registry()
+        self.max_workers = max_workers
+        self.mode: Optional[str] = None
+        self.workers: Dict[str, dict] = {}
+        self.groups: List[dict] = []
+        self._chunks: Dict[int, List[dict]] = {}
+        self.grafted_spans = 0
+        self.folded_series = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def arm(self) -> None:
+        """Refresh the carrier's trace/switch state at dispatch time.
+
+        The collector is often constructed before the caller opens its
+        trace; the scheduler calls this right before building pool
+        payloads, so ``traced`` reflects whether a span is ambient *now*.
+        """
+        from repro.obs.trace import active_span
+
+        self.carrier.enabled = state.ENABLED
+        self.carrier.traced = state.ENABLED and active_span() is not None
+        self.carrier.clock_offset_ns = _wall_perf_offset_ns()
+
+    def payload(self, meta: dict, chunk) -> tuple:
+        """The ``(meta, chunk)`` task payload for :func:`run_telemetry_chunk`."""
+        return (dict(meta), chunk)
+
+    def absorb(self, envelope: Optional[WorkerTelemetry], parent_span: Optional[Span], group: int) -> None:
+        """Merge one worker envelope: graft spans, fold metrics, log the chunk."""
+        if envelope is None:
+            return
+        label = str(envelope.pid)
+        if envelope.spans is not None and parent_span is not None:
+            parent_span.children.append(wire_to_span(envelope.spans))
+            self.grafted_spans += 1
+        if envelope.metrics:
+            self.folded_series += fold_worker_metrics(
+                self.registry, envelope.metrics, label
+            )
+        self._log_chunk(
+            group,
+            worker=label,
+            tasks=envelope.tasks,
+            busy_seconds=envelope.busy_ns / 1e9,
+            cpu_seconds=envelope.cpu_seconds,
+            max_rss_kb=envelope.max_rss_kb,
+        )
+
+    def record_local(self, group: int, tasks: int, busy_seconds: float) -> None:
+        """Account one serially-executed chunk (the degrade/serial paths)."""
+        cpu = 0.0
+        self._log_chunk(
+            group,
+            worker=f"local:{os.getpid()}",
+            tasks=tasks,
+            busy_seconds=busy_seconds,
+            cpu_seconds=cpu,
+            max_rss_kb=0,
+        )
+
+    def _log_chunk(
+        self,
+        group: int,
+        *,
+        worker: str,
+        tasks: int,
+        busy_seconds: float,
+        cpu_seconds: float,
+        max_rss_kb: int,
+    ) -> None:
+        self._chunks.setdefault(group, []).append(
+            {"worker": worker, "tasks": tasks, "busy_seconds": busy_seconds}
+        )
+        entry = self.workers.setdefault(
+            worker,
+            {
+                "chunks": 0,
+                "tasks": 0,
+                "busy_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "max_rss_kb": 0,
+            },
+        )
+        entry["chunks"] += 1
+        entry["tasks"] += tasks
+        entry["busy_seconds"] += busy_seconds
+        entry["cpu_seconds"] += cpu_seconds
+        entry["max_rss_kb"] = max(entry["max_rss_kb"], max_rss_kb)
+        # The registry view of the same accounting, so a live server's
+        # `repro top` worker lanes survive across fan-outs.
+        self.registry.counter("fanout_chunks_total", worker=worker).inc()
+        self.registry.histogram("fanout_busy_seconds", worker=worker).observe(
+            busy_seconds
+        )
+
+    def end_group(self, group: int, *, wall_seconds: float, kind: str = "wave") -> None:
+        """Close one barrier group (a wave, or the whole shard fan-out)."""
+        chunks = self._chunks.get(group, [])
+        busy = [chunk["busy_seconds"] for chunk in chunks]
+        lanes = max(1, min(self.max_workers or 1, len(chunks)) if chunks else 1)
+        total_busy = sum(busy)
+        ordered = sorted(busy)
+        median = _percentile(ordered, 0.5)
+        self.groups.append(
+            {
+                "kind": kind,
+                "index": group,
+                "tasks": sum(chunk["tasks"] for chunk in chunks),
+                "chunks": len(chunks),
+                "wall_seconds": round(wall_seconds, 6),
+                "busy_seconds": round(total_busy, 6),
+                "busy_fraction": (
+                    round(total_busy / (wall_seconds * lanes), 4)
+                    if wall_seconds > 0
+                    else None
+                ),
+                "skew": (
+                    round(max(busy) / median, 4) if busy and median > 0 else None
+                ),
+            }
+        )
+
+    def reset(self) -> None:
+        """Drop accumulated stats (the serial-fallback path starts over).
+
+        Metric deltas already folded stay folded — a failed pool has by
+        definition shipped few or none — but stats must not mix both runs.
+        """
+        self.workers.clear()
+        self.groups.clear()
+        self._chunks.clear()
+        self.grafted_spans = 0
+
+    # -- aggregation --------------------------------------------------------
+
+    def chunk_busy_seconds(self) -> List[float]:
+        return [
+            chunk["busy_seconds"]
+            for chunks in self._chunks.values()
+            for chunk in chunks
+        ]
+
+    def utilization(self) -> Optional[float]:
+        """Overall busy-fraction: Σ chunk busy / Σ (wave wall × lanes)."""
+        denominator = 0.0
+        busy = 0.0
+        for group in self.groups:
+            lanes = max(1, min(self.max_workers or 1, group["chunks"] or 1))
+            denominator += group["wall_seconds"] * lanes
+            busy += group["busy_seconds"]
+        if denominator <= 0:
+            return None
+        return round(busy / denominator, 4)
+
+    def straggler_stats(self) -> Optional[dict]:
+        """Distribution of per-chunk busy time — the straggler picture."""
+        busy = sorted(self.chunk_busy_seconds())
+        if not busy:
+            return None
+        median = _percentile(busy, 0.5)
+        return {
+            "chunks": len(busy),
+            "p50_ms": round(_percentile(busy, 0.5) * 1e3, 3),
+            "p90_ms": round(_percentile(busy, 0.9) * 1e3, 3),
+            "p99_ms": round(_percentile(busy, 0.99) * 1e3, 3),
+            "max_ms": round(busy[-1] * 1e3, 3),
+            "skew": round(busy[-1] / median, 4) if median > 0 else None,
+        }
+
+    def to_json_dict(self) -> dict:
+        """The fan-out attribution block carried by reports and responses."""
+        return {
+            "trace_id": self.carrier.trace_id,
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "utilization": self.utilization(),
+            "grafted_spans": self.grafted_spans,
+            "folded_series": self.folded_series,
+            "waves": list(self.groups),
+            "workers": {
+                worker: {
+                    "chunks": entry["chunks"],
+                    "tasks": entry["tasks"],
+                    "busy_seconds": round(entry["busy_seconds"], 6),
+                    "cpu_seconds": round(entry["cpu_seconds"], 6),
+                    "max_rss_kb": entry["max_rss_kb"],
+                }
+                for worker, entry in sorted(self.workers.items())
+            },
+            "stragglers": self.straggler_stats(),
+        }
+
+
+def render_fanout(fanout: Optional[dict]) -> List[str]:
+    """Human-readable lines for a :meth:`FanoutTelemetry.to_json_dict` block."""
+    if not fanout:
+        return []
+    lines: List[str] = []
+    utilization = fanout.get("utilization")
+    lines.append(
+        "fan-out: mode {}, {} worker slot(s), utilization {}".format(
+            fanout.get("mode", "?"),
+            fanout.get("max_workers", "?"),
+            f"{100 * utilization:.1f}%" if utilization is not None else "n/a",
+        )
+    )
+    workers = fanout.get("workers") or {}
+    for worker, entry in sorted(workers.items()):
+        lines.append(
+            "  worker {:<12} {:>3} chunk(s) {:>4} task(s)  busy {:.3f}s"
+            "  cpu {:.3f}s  rss {} kB".format(
+                worker,
+                entry.get("chunks", 0),
+                entry.get("tasks", 0),
+                entry.get("busy_seconds", 0.0),
+                entry.get("cpu_seconds", 0.0),
+                entry.get("max_rss_kb", 0),
+            )
+        )
+    stragglers = fanout.get("stragglers")
+    if stragglers:
+        lines.append(
+            "  stragglers: chunk busy p50 {p50_ms}ms  p90 {p90_ms}ms  "
+            "p99 {p99_ms}ms  max {max_ms}ms  skew {skew}".format(**stragglers)
+        )
+    return lines

@@ -39,7 +39,10 @@ def _percentile(ordered: List[float], fraction: float) -> float:
 class SlowLogEntry:
     """One retained slow request: identity, timing, and its span tree."""
 
-    __slots__ = ("trace_id", "method", "workspace", "status", "duration_ms", "threshold_ms", "trace")
+    __slots__ = (
+        "trace_id", "method", "workspace", "status", "duration_ms",
+        "threshold_ms", "trace", "workers", "trace_path",
+    )
 
     def __init__(
         self,
@@ -50,6 +53,8 @@ class SlowLogEntry:
         duration_ms: float,
         threshold_ms: float,
         trace: Optional[dict],
+        workers: Optional[List[str]] = None,
+        trace_path: Optional[str] = None,
     ):
         self.trace_id = trace_id
         self.method = method
@@ -58,6 +63,11 @@ class SlowLogEntry:
         self.duration_ms = duration_ms
         self.threshold_ms = threshold_ms
         self.trace = trace
+        # Fan-out attribution: which worker pids contributed grafted spans,
+        # and where the trace-dir writer persisted the full trace — so a slow
+        # entry joins against its on-disk trace file by trace_id.
+        self.workers = workers
+        self.trace_path = trace_path
 
     def to_dict(self, include_trace: bool = True) -> dict:
         entry = {
@@ -68,6 +78,10 @@ class SlowLogEntry:
             "duration_ms": round(self.duration_ms, 3),
             "threshold_ms": round(self.threshold_ms, 3),
         }
+        if self.workers:
+            entry["workers"] = list(self.workers)
+        if self.trace_path is not None:
+            entry["trace_path"] = self.trace_path
         if include_trace and self.trace is not None:
             entry["trace"] = self.trace
         return entry
@@ -119,6 +133,8 @@ class SlowLog:
         status: str = "ok",
         workspace: str = "default",
         trace: Optional[dict] = None,
+        workers: Optional[List[str]] = None,
+        trace_path: Optional[str] = None,
     ) -> bool:
         """Record one finished request; returns whether it was retained.
 
@@ -142,6 +158,8 @@ class SlowLog:
                     duration_ms=duration_ms,
                     threshold_ms=threshold,
                     trace=trace,
+                    workers=workers,
+                    trace_path=trace_path,
                 )
             )
             return True

@@ -105,10 +105,23 @@ class Trace:
         return {"trace_id": self.trace_id, "root": self.root.to_dict()}
 
     def to_chrome_events(self) -> List[dict]:
-        """Chrome trace-event "complete" (``ph: X``) events, µs timestamps."""
+        """Chrome trace-event "complete" (``ph: X``) events, µs timestamps.
+
+        Spans carrying a ``worker`` attribute (subtrees grafted by
+        :mod:`repro.obs.remote`) — and everything beneath them — render on
+        their own thread lane (tid 2+, one per worker, with ``thread_name``
+        metadata events), so a fanned-out trace shows true wave parallelism
+        instead of one flat lane.  A purely in-process trace keeps the
+        historical single-lane shape with no metadata events.
+        """
         base = self.root.start_ns
         events: List[dict] = []
-        for span in self.root.walk():
+        lanes: Dict[str, int] = {}
+
+        def emit(span: Span, tid: int) -> None:
+            worker = span.attrs.get("worker")
+            if worker is not None:
+                tid = lanes.setdefault(str(worker), len(lanes) + 2)
             end = span.end_ns if span.end_ns is not None else span.start_ns
             events.append({
                 "name": span.name,
@@ -117,9 +130,30 @@ class Trace:
                 "ts": round((span.start_ns - base) / 1e3, 3),
                 "dur": round((end - span.start_ns) / 1e3, 3),
                 "pid": 1,
-                "tid": 1,
+                "tid": tid,
                 "args": dict(span.attrs),
             })
+            for child in span.children:
+                emit(child, tid)
+
+        emit(self.root, 1)
+        if lanes:
+            metadata = [{
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "coordinator"},
+            }]
+            for worker, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+                metadata.append({
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": f"worker {worker}"},
+                })
+            events = metadata + events
         return events
 
 
@@ -265,6 +299,47 @@ def start_trace(name: str, trace_id: Optional[str] = None):
     if not state.ENABLED:
         return _NULL
     return _TraceContext(name, trace_id)
+
+
+def filter_span_tree(
+    tree: dict,
+    min_self_ms: float = 0.0,
+    max_depth: Optional[int] = None,
+) -> Tuple[dict, int]:
+    """Prune a ``Span.to_dict`` tree for readable rendering.
+
+    Drops spans deeper than ``max_depth`` (root is depth 0) and spans whose
+    ``self_ms`` is below ``min_self_ms`` — unless a retained descendant
+    needs them as structure.  The root always survives.  Returns the pruned
+    copy plus how many spans were hidden, so the renderer can say so
+    instead of silently looking complete.
+    """
+
+    def prune(node: dict, depth: int) -> Tuple[Optional[dict], int]:
+        hidden = 0
+        kept_children: List[dict] = []
+        for child in node.get("children", ()):
+            if max_depth is not None and depth + 1 > max_depth:
+                hidden += sum(1 for _ in _count_spans(child))
+                continue
+            kept, child_hidden = prune(child, depth + 1)
+            hidden += child_hidden
+            if kept is not None:
+                kept_children.append(kept)
+        significant = node.get("self_ms", 0.0) >= min_self_ms
+        if depth > 0 and not significant and not kept_children:
+            return None, hidden + 1
+        out = dict(node, children=kept_children)
+        return out, hidden
+
+    def _count_spans(node: dict):
+        yield node
+        for child in node.get("children", ()):
+            yield from _count_spans(child)
+
+    pruned, hidden = prune(tree, 0)
+    assert pruned is not None  # the root always survives
+    return pruned, hidden
 
 
 def render_span_tree(tree: dict, indent: int = 0, out: Optional[List[str]] = None) -> str:

@@ -31,6 +31,7 @@ from repro.lang.parser import parse_program
 from repro.lang.typeck import check_program
 from repro.mir.callgraph import CallGraph
 from repro.obs import metrics as obs_metrics
+from repro.obs import remote as obs_remote
 from repro.obs import span as obs_span
 from repro.service.cache import (
     FingerprintIndex,
@@ -137,6 +138,7 @@ def run_waves(
     parallel: Optional[bool] = None,
     initializer=None,
     initargs: tuple = (),
+    telemetry: Optional[obs_remote.FanoutTelemetry] = None,
 ):
     """Fan each wave of tasks across ONE persistent process pool, with a
     barrier between waves.
@@ -154,6 +156,14 @@ def run_waves(
     same chunks serially in-process.  Returns ``(mode, wave_results, error)``
     where ``wave_results`` has one list per wave concatenating its chunk
     results in task order.
+
+    With a :class:`repro.obs.remote.FanoutTelemetry` collector, each pool
+    task additionally ships a worker-telemetry envelope: worker span
+    subtrees are grafted under the dispatching wave span (one clock base),
+    worker metric deltas are folded into the parent registry under a
+    ``worker`` label, and per-wave utilization/straggler statistics are
+    accumulated in the collector.  Serial runs feed the same chunk
+    accounting, so utilization is reported in every mode.
     """
     staged = [list(wave) for wave in waves]
     total = sum(len(wave) for wave in staged)
@@ -168,9 +178,19 @@ def run_waves(
         out: List[List] = []
         for index, wave in enumerate(staged):
             wave_out: List = []
+            wave_started = time.perf_counter()
             with obs_span("wave", index=index, size=len(wave)):
                 for chunk in chunked(wave):
+                    chunk_started = time.perf_counter()
                     wave_out.extend(worker(chunk))
+                    if telemetry is not None:
+                        telemetry.record_local(
+                            index, len(chunk), time.perf_counter() - chunk_started
+                        )
+            if telemetry is not None:
+                telemetry.end_group(
+                    index, wall_seconds=time.perf_counter() - wave_started
+                )
             out.append(wave_out)
         return out
 
@@ -178,22 +198,53 @@ def run_waves(
         parallel if parallel is not None else (max_workers or 0) > 1 and total > 1
     )
     if not want_parallel:
+        if telemetry is not None:
+            telemetry.mode = "serial"
         return "serial", run_serial(), None
     try:
         out: List[List] = []
+        pool_worker = worker
+        pool_initializer = initializer
+        pool_initargs = initargs
+        if telemetry is not None:
+            # Wrap the consumer's worker so every task returns a telemetry
+            # envelope beside its results (repro.obs.remote protocol).
+            telemetry.arm()
+            pool_worker = obs_remote.run_telemetry_chunk
+            pool_initializer = obs_remote.telemetry_init
+            pool_initargs = (worker, initializer, initargs, telemetry.carrier.to_dict())
         with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=initializer, initargs=initargs
+            max_workers=max_workers,
+            initializer=pool_initializer,
+            initargs=pool_initargs,
         ) as pool:
             for index, wave in enumerate(staged):
                 wave_out: List = []
-                # Worker processes' spans are invisible here; the wave span
-                # measures the fan-out wall time at the barrier.
-                with obs_span("wave", index=index, size=len(wave), parallel=True):
-                    for payload in pool.map(worker, chunked(wave)):
-                        wave_out.extend(payload)
+                wave_started = time.perf_counter()
+                with obs_span("wave", index=index, size=len(wave), parallel=True) as wave_span:
+                    if telemetry is not None:
+                        payloads = [
+                            telemetry.payload({"wave": index, "chunk": j}, chunk)
+                            for j, chunk in enumerate(chunked(wave))
+                        ]
+                        for envelope, payload in pool.map(pool_worker, payloads):
+                            telemetry.absorb(envelope, wave_span, index)
+                            wave_out.extend(payload)
+                    else:
+                        for payload in pool.map(pool_worker, chunked(wave)):
+                            wave_out.extend(payload)
+                if telemetry is not None:
+                    telemetry.end_group(
+                        index, wall_seconds=time.perf_counter() - wave_started
+                    )
                 out.append(wave_out)
+        if telemetry is not None:
+            telemetry.mode = "parallel"
         return "parallel", out, None
     except Exception as error:  # pool unavailable: degrade, don't fail
+        if telemetry is not None:
+            telemetry.reset()
+            telemetry.mode = "serial-fallback"
         return "serial-fallback", run_serial(), f"{type(error).__name__}: {error}"
 
 
@@ -206,6 +257,7 @@ def map_shards(
     parallel: Optional[bool] = None,
     initializer=None,
     initargs: tuple = (),
+    telemetry: Optional[obs_remote.FanoutTelemetry] = None,
 ):
     """Fan ``tasks`` across a process pool in order-preserving chunks.
 
@@ -220,7 +272,11 @@ def map_shards(
     ``"parallel"`` / ``"serial-fallback"`` and results concatenate the
     chunk results in task order.  This is the corpus-level fan-out the
     mass-evaluation harness runs on; the function-level fan-out above
-    shares its shape.
+    shares its shape — including the optional ``telemetry`` collector,
+    which grafts worker span subtrees under the per-chunk shard spans,
+    folds worker metric deltas under a ``worker`` label, and accumulates
+    the shard-level utilization/straggler statistics (all chunks form one
+    barrier group, index 0).
     """
     items = list(tasks)
     chunks = [items[i : i + max(1, chunk_size)] for i in range(0, len(items), max(1, chunk_size))]
@@ -229,28 +285,71 @@ def map_shards(
         if initializer is not None:
             initializer(*initargs)
         out: List = []
+        started = time.perf_counter()
         for index, chunk in enumerate(chunks):
+            chunk_started = time.perf_counter()
             with obs_span("shard", index=index, size=len(chunk)):
                 out.extend(worker(chunk))
+            if telemetry is not None:
+                telemetry.record_local(
+                    0, len(chunk), time.perf_counter() - chunk_started
+                )
+        if telemetry is not None:
+            telemetry.end_group(
+                0, wall_seconds=time.perf_counter() - started, kind="shards"
+            )
         return out
 
     want_parallel = (
         parallel if parallel is not None else (max_workers or 0) > 1 and len(items) > 1
     )
     if not want_parallel:
+        if telemetry is not None:
+            telemetry.mode = "serial"
         return "serial", run_serial(), None
     try:
         results: List = []
+        pool_worker = worker
+        pool_initializer = initializer
+        pool_initargs = initargs
+        if telemetry is not None:
+            telemetry.arm()
+            pool_worker = obs_remote.run_telemetry_chunk
+            pool_initializer = obs_remote.telemetry_init
+            pool_initargs = (worker, initializer, initargs, telemetry.carrier.to_dict())
+        started = time.perf_counter()
         with ProcessPoolExecutor(
-            max_workers=max_workers, initializer=initializer, initargs=initargs
+            max_workers=max_workers,
+            initializer=pool_initializer,
+            initargs=pool_initargs,
         ) as pool:
-            # Worker processes' spans are invisible here; the shard spans
-            # measure per-chunk fan-out wall time at the coordinator.
-            for index, payload in enumerate(pool.map(worker, chunks)):
-                with obs_span("shard", index=index, parallel=True):
-                    results.extend(payload)
+            if telemetry is not None:
+                payloads = [
+                    telemetry.payload({"shard": index}, chunk)
+                    for index, chunk in enumerate(chunks)
+                ]
+                for index, (envelope, payload) in enumerate(
+                    pool.map(pool_worker, payloads)
+                ):
+                    # The worker's span subtree grafts under this shard span,
+                    # so the merged trace shows the chunk on its worker lane.
+                    with obs_span("shard", index=index, parallel=True) as shard_span:
+                        telemetry.absorb(envelope, shard_span, 0)
+                        results.extend(payload)
+            else:
+                for index, payload in enumerate(pool.map(pool_worker, chunks)):
+                    with obs_span("shard", index=index, parallel=True):
+                        results.extend(payload)
+        if telemetry is not None:
+            telemetry.end_group(
+                0, wall_seconds=time.perf_counter() - started, kind="shards"
+            )
+            telemetry.mode = "parallel"
         return "parallel", results, None
     except Exception as error:  # pool unavailable: degrade, don't fail
+        if telemetry is not None:
+            telemetry.reset()
+            telemetry.mode = "serial-fallback"
         return "serial-fallback", run_serial(), f"{type(error).__name__}: {error}"
 
 
@@ -374,6 +473,9 @@ class BatchResult:
     cached: List[str] = field(default_factory=list)
     seconds: float = 0.0
     error: Optional[str] = None  # why a parallel request fell back, if it did
+    # Worker attribution for fanned-out batches (utilization, per-worker
+    # busy/cpu/rss, straggler skew) — None when no fan-out was attempted.
+    fanout: Optional[dict] = None
 
     def computed(self) -> int:
         """How many functions were actually (re)analysed this batch."""
@@ -388,6 +490,7 @@ class BatchResult:
             "cached": len(self.cached),
             "seconds": round(self.seconds, 6),
             "error": self.error,
+            "fanout": self.fanout,
         }
 
 
@@ -528,6 +631,7 @@ class BatchScheduler:
         """
         config_kwargs = dataclasses.asdict(engine.config)
         scheduled = [[n for n in wave if n in to_compute] for wave in waves]
+        telemetry = obs_remote.FanoutTelemetry(max_workers=self.max_workers)
         mode, wave_results, error = run_waves(
             _analyze_batch,
             scheduled,
@@ -536,7 +640,9 @@ class BatchScheduler:
             parallel=True,
             initializer=_init_worker,
             initargs=(source, engine.local_crate, config_kwargs),
+            telemetry=telemetry,
         )
+        result.fanout = telemetry.to_json_dict()
         for payload in wave_results:
             for data in payload:
                 record = FunctionRecord.from_json_dict(data)

@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import QueryError
 from repro.obs import get_registry, new_trace_id, start_trace
 from repro.obs.export import TraceDirWriter
+from repro.obs.remote import workers_in_trace
 from repro.obs.slowlog import HealthTracker, SlowLog
 from repro.service.locks import RWLock
 from repro.service.persist import has_workspace, open_or_create_workspace, save_workspace
@@ -422,6 +423,7 @@ class ConnectionHandler:
         method = message.get("method")
         workspace = self.handle_ref.name
         started = time.perf_counter()
+        trace_path = None
         if self.trace_writer is not None or self.slow_log is not None:
             # A client-requested in-band trace ("trace": true) opens its own
             # nested trace; the server-side file then only covers the mux.
@@ -430,7 +432,7 @@ class ConnectionHandler:
             ) as trace:
                 response = self.handle_message(message)
             if self.trace_writer is not None:
-                self.trace_writer.write(trace)
+                trace_path = self.trace_writer.write(trace)
         else:
             trace = None
             response = self.handle_message(message)
@@ -443,13 +445,16 @@ class ConnectionHandler:
                 ok=status == "ok",
             )
         if self.slow_log is not None:
+            tree = trace.to_dict() if trace is not None else None
             self.slow_log.observe(
                 method if isinstance(method, str) else None,
                 duration_ms,
                 trace_id=trace_id,
                 status=status,
                 workspace=workspace,
-                trace=trace.to_dict() if trace is not None else None,
+                trace=tree,
+                workers=workers_in_trace(tree["root"]) if tree is not None else None,
+                trace_path=str(trace_path) if trace_path is not None else None,
             )
         if response is not None and "trace_id" not in response:
             response["trace_id"] = trace_id

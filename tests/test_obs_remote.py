@@ -1,0 +1,638 @@
+"""Tests for cross-process telemetry: trace carriers, worker envelopes,
+metric folding, fan-out statistics, the trace noise filter, HELP lines,
+slow-log attribution, and the `repro top` dashboard frames."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.config import MODULAR
+from repro.obs import (
+    FanoutTelemetry,
+    MetricsRegistry,
+    TraceCarrier,
+    filter_span_tree,
+    render_span_tree,
+    set_enabled,
+    start_trace,
+    workers_in_trace,
+)
+from repro.obs.dashboard import TopState, build_frame
+from repro.obs.export import chrome_trace_document, render_prometheus
+from repro.obs.metrics import COUNT_BUCKETS
+from repro.obs.remote import (
+    fold_worker_metrics,
+    full_metrics_delta,
+    render_fanout,
+    run_instrumented,
+    span_to_wire,
+    wire_to_span,
+)
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import Span
+from repro.service.scheduler import (
+    _init_worker,
+    _render_batch,
+    run_waves,
+    schedule_waves,
+)
+
+SOURCE = """
+fn leaf(x: u32) -> u32 { x + 1 }
+fn mid(x: u32) -> u32 { leaf(x) + 2 }
+fn root(x: u32) -> u32 { mid(x) + 3 }
+fn lone(x: u32) -> u32 { x * 5 }
+fn l2(x: u32) -> u32 { x + 9 }
+fn m2(x: u32) -> u32 { l2(x) * 2 }
+fn r2(x: u32) -> u32 { m2(x) + leaf(x) }
+"""
+
+
+@pytest.fixture(autouse=True)
+def _obs_enabled():
+    set_enabled(True)
+    yield
+    set_enabled(True)
+
+
+def _engine_and_waves():
+    from repro.core.engine import FlowEngine
+
+    engine = FlowEngine.from_source(SOURCE, config=MODULAR)
+    names = engine.local_function_names()
+    return engine, names, schedule_waves(engine.call_graph, names)
+
+
+def _fanned_out_run(max_workers=2):
+    """One traced parallel run; returns (mode, trace, telemetry)."""
+    _engine, _names, waves = _engine_and_waves()
+    telemetry = FanoutTelemetry(max_workers=max_workers)
+    with start_trace("analyze") as trace:
+        mode, results, _error = run_waves(
+            _render_batch,
+            waves,
+            max_workers=max_workers,
+            parallel=True,
+            initializer=_init_worker,
+            initargs=(SOURCE, "main", {}),
+            telemetry=telemetry,
+        )
+    assert [name for wave in results for (name, _, _) in wave]
+    return mode, trace, telemetry
+
+
+# ---------------------------------------------------------------------------
+# Carrier and wire form
+# ---------------------------------------------------------------------------
+
+
+class TestCarrierAndWire:
+    def test_carrier_round_trips_through_dict(self):
+        carrier = TraceCarrier.capture(traced=True)
+        clone = TraceCarrier.from_dict(carrier.to_dict())
+        assert clone.trace_id == carrier.trace_id
+        assert clone.enabled == carrier.enabled
+        assert clone.traced == carrier.traced
+        assert clone.clock_offset_ns == carrier.clock_offset_ns
+
+    def test_capture_defaults_traced_to_ambient_span(self):
+        assert TraceCarrier.capture().traced is False
+        with start_trace("t"):
+            assert TraceCarrier.capture().traced is True
+
+    def test_disabled_process_captures_untraced_carrier(self):
+        set_enabled(False)
+        carrier = TraceCarrier.capture(traced=True)
+        assert carrier.enabled is False
+        assert carrier.traced is False
+
+    def test_wire_round_trip_preserves_structure_and_shifts_clock(self):
+        root = Span("chunk", {"worker": 42})
+        child = Span("fixpoint")
+        child.finish()
+        root.children.append(child)
+        root.finish()
+        rebuilt = wire_to_span(span_to_wire(root, shift_ns=1000))
+        assert rebuilt.name == "chunk"
+        assert rebuilt.attrs == {"worker": 42}
+        assert rebuilt.start_ns == root.start_ns + 1000
+        assert rebuilt.end_ns == root.end_ns + 1000
+        assert [c.name for c in rebuilt.children] == ["fixpoint"]
+        assert rebuilt.children[0].start_ns == child.start_ns + 1000
+
+    def test_workers_in_trace_finds_nested_worker_attrs(self):
+        tree = {
+            "attrs": {},
+            "children": [
+                {"attrs": {"worker": 12}, "children": []},
+                {"attrs": {}, "children": [{"attrs": {"worker": 7}, "children": []}]},
+            ],
+        }
+        assert workers_in_trace(tree) == ["12", "7"]
+        assert workers_in_trace(None) == []
+        assert workers_in_trace({"attrs": {}, "children": []}) == []
+
+
+# ---------------------------------------------------------------------------
+# Lossless metric deltas and the worker-labelled fold
+# ---------------------------------------------------------------------------
+
+
+class TestMetricFold:
+    def test_full_delta_keeps_per_bucket_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("iters", buckets=COUNT_BUCKETS, engine="bitset")
+        before = registry.snapshot()
+        for value in (1, 1, 3, 55):
+            hist.observe(value)
+        delta = full_metrics_delta(before, registry.snapshot())
+        entry = delta["histograms"]['iters{engine="bitset"}']
+        assert entry["count"] == 4
+        assert entry["sum"] == 60
+        assert sum(entry["bucket_deltas"]) == 4
+        assert entry["bounds"] == [float(b) for b in COUNT_BUCKETS]
+        # Non-cumulative: the two 1s land in one bucket, 3 and 55 in others.
+        assert sorted(d for d in entry["bucket_deltas"] if d) == [1, 1, 2]
+
+    def test_fold_reconciles_exactly_with_direct_observation(self):
+        worker = MetricsRegistry()
+        before = worker.snapshot()
+        worker.counter("requests_total", method="warm").inc(3)
+        whist = worker.histogram("iters", buckets=COUNT_BUCKETS)
+        for value in (2, 8, 200):
+            whist.observe(value)
+        delta = full_metrics_delta(before, worker.snapshot())
+
+        parent = MetricsRegistry()
+        folded = fold_worker_metrics(parent, delta, "4242")
+        assert folded == 2
+        snap = parent.snapshot()
+        assert snap["counters"]['requests_total{method="warm",worker="4242"}'] == 3
+        merged = snap["histograms"]['iters{worker="4242"}']
+        reference = worker.snapshot()["histograms"]["iters"]
+        assert merged["count"] == reference["count"]
+        assert merged["sum"] == reference["sum"]
+        assert merged["buckets"] == reference["buckets"]  # bucket-exact
+
+    def test_fold_keeps_existing_worker_label(self):
+        parent = MetricsRegistry()
+        fold_worker_metrics(
+            parent, {"counters": {'x_total{worker="9"}': 5.0}, "histograms": {}}, "1"
+        )
+        assert parent.snapshot()["counters"]['x_total{worker="9"}'] == 5.0
+
+    def test_run_instrumented_disabled_carrier_ships_no_envelope(self):
+        carrier = TraceCarrier("t" * 16, enabled=False, traced=False, clock_offset_ns=0)
+        envelope, results = run_instrumented(sorted, [3, 1, 2], carrier, {})
+        assert envelope is None
+        assert results == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# The fanned-out run end to end
+# ---------------------------------------------------------------------------
+
+
+class TestFannedOutRun:
+    def test_worker_spans_graft_under_their_wave(self):
+        mode, trace, telemetry = _fanned_out_run()
+        if mode != "parallel":
+            pytest.skip(f"process pool unavailable here (mode={mode})")
+        assert telemetry.grafted_spans > 0
+        worker_spans = [
+            s for s in trace.root.walk() if s.attrs.get("worker") is not None
+        ]
+        assert worker_spans
+        # Every grafted subtree sits inside the root's time range (the
+        # wall-clock bridge rebased it onto the parent's perf axis).
+        for span_node in worker_spans:
+            assert span_node.start_ns >= trace.root.start_ns - 5_000_000
+            assert span_node.end_ns <= trace.root.end_ns + 5_000_000
+        # And under a wave span, not dangling off the root.
+        wave_children = {
+            id(child)
+            for s in trace.root.walk()
+            if s.name == "wave"
+            for child in s.children
+        }
+        assert any(id(s) in wave_children for s in worker_spans)
+
+    def test_chrome_export_shows_worker_lanes(self):
+        mode, trace, _telemetry = _fanned_out_run()
+        if mode != "parallel":
+            pytest.skip(f"process pool unavailable here (mode={mode})")
+        document = chrome_trace_document(trace)
+        events = document["traceEvents"]
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert 1 in tids and len(tids) >= 2, f"expected worker lanes, got {tids}"
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert "coordinator" in names
+        assert any(name.startswith("worker ") for name in names)
+
+    def test_plain_trace_keeps_single_lane_no_metadata(self):
+        with start_trace("analyze") as trace:
+            pass
+        events = trace.to_chrome_events()
+        assert [e["ph"] for e in events] == ["X"]
+        assert all(e["tid"] == 1 for e in events)
+
+    def test_parallel_metrics_reconcile_with_serial_run(self):
+        """Worker-labelled fixpoint counts must sum to the serial totals."""
+        from repro.obs.metrics import parse_series
+
+        registry = MetricsRegistry()
+        telemetry = FanoutTelemetry(max_workers=2, registry=registry)
+        _engine, _names, waves = _engine_and_waves()
+        mode, _results, _error = run_waves(
+            _render_batch,
+            waves,
+            max_workers=2,
+            parallel=True,
+            initializer=_init_worker,
+            initargs=(SOURCE, "main", {}),
+            telemetry=telemetry,
+        )
+        if mode != "parallel":
+            pytest.skip(f"process pool unavailable here (mode={mode})")
+
+        serial_registry = MetricsRegistry()
+        import repro.obs.metrics as obs_metrics
+
+        saved = obs_metrics._DEFAULT_REGISTRY
+        obs_metrics._DEFAULT_REGISTRY = serial_registry
+        try:
+            mode2, _r2, _e2 = run_waves(
+                _render_batch,
+                waves,
+                parallel=False,
+                initializer=_init_worker,
+                initargs=(SOURCE, "main", {}),
+            )
+        finally:
+            obs_metrics._DEFAULT_REGISTRY = saved
+        assert mode2 == "serial"
+
+        def totals(snapshot, metric):
+            by_series = {}
+            for series, hist in snapshot["histograms"].items():
+                name, labels = parse_series(series)
+                if name != metric:
+                    continue
+                labels.pop("worker", None)
+                key = tuple(sorted(labels.items()))
+                entry = by_series.setdefault(key, [0, 0.0])
+                entry[0] += hist["count"]
+                entry[1] += hist["sum"]
+            return by_series
+
+        parallel_iters = totals(registry.snapshot(), "fixpoint_iterations")
+        serial_iters = totals(serial_registry.snapshot(), "fixpoint_iterations")
+        assert parallel_iters, "no worker-side fixpoint metrics folded"
+        for key, (count, total) in serial_iters.items():
+            assert parallel_iters[key][0] == count, (key, parallel_iters, serial_iters)
+            assert parallel_iters[key][1] == pytest.approx(total)
+
+    def test_fanout_stats_cover_waves_workers_and_stragglers(self):
+        mode, _trace, telemetry = _fanned_out_run()
+        stats = telemetry.to_json_dict()
+        assert stats["mode"] == mode
+        assert stats["waves"], "no per-wave groups recorded"
+        for group in stats["waves"]:
+            assert group["tasks"] > 0
+            assert group["wall_seconds"] >= 0
+        assert stats["workers"], "no per-worker attribution"
+        stragglers = stats["stragglers"]
+        assert stragglers and stragglers["chunks"] > 0
+        assert stragglers["p50_ms"] <= stragglers["p99_ms"] <= stragglers["max_ms"]
+        assert stats["utilization"] is None or 0 <= stats["utilization"] <= 1
+
+    def test_serial_mode_still_reports_utilization(self):
+        telemetry = FanoutTelemetry(max_workers=1)
+        _engine, _names, waves = _engine_and_waves()
+        mode, _results, _error = run_waves(
+            _render_batch,
+            waves,
+            parallel=False,
+            initializer=_init_worker,
+            initargs=(SOURCE, "main", {}),
+            telemetry=telemetry,
+        )
+        assert mode == "serial"
+        stats = telemetry.to_json_dict()
+        assert stats["mode"] == "serial"
+        assert stats["waves"] and stats["workers"]
+        assert all(worker.startswith("local:") for worker in stats["workers"])
+
+    def test_render_fanout_is_human_readable(self):
+        _mode, _trace, telemetry = _fanned_out_run()
+        lines = render_fanout(telemetry.to_json_dict())
+        assert lines and lines[0].startswith("fan-out: mode ")
+        assert any(line.strip().startswith("worker ") for line in lines)
+        assert render_fanout(None) == []
+
+
+# ---------------------------------------------------------------------------
+# Trace noise filter
+# ---------------------------------------------------------------------------
+
+
+class TestFilterSpanTree:
+    def _tree(self):
+        with start_trace("root") as trace:
+            from repro.obs import span
+
+            with span("big"):
+                with span("tiny"):
+                    pass
+            with span("small"):
+                pass
+        tree = trace.to_dict()["root"]
+        # Stamp deterministic self times: structure is what matters here.
+        tree["self_ms"] = 10.0
+        big, small = tree["children"]
+        big["self_ms"] = 5.0
+        small["self_ms"] = 0.001
+        big["children"][0]["self_ms"] = 0.002
+        return tree
+
+    def test_min_self_ms_drops_insignificant_leaves(self):
+        tree = self._tree()
+        pruned, hidden = filter_span_tree(tree, min_self_ms=1.0)
+        assert hidden == 2
+        assert [c["name"] for c in pruned["children"]] == ["big"]
+        assert pruned["children"][0]["children"] == []
+
+    def test_structure_survives_when_descendant_is_significant(self):
+        tree = self._tree()
+        tree["children"][0]["self_ms"] = 0.001  # "big" now insignificant...
+        tree["children"][0]["children"][0]["self_ms"] = 3.0  # ...but "tiny" is not
+        pruned, hidden = filter_span_tree(tree, min_self_ms=1.0)
+        assert hidden == 1  # only "small" hidden
+        assert [c["name"] for c in pruned["children"]] == ["big"]
+        assert [c["name"] for c in pruned["children"][0]["children"]] == ["tiny"]
+
+    def test_max_depth_counts_whole_dropped_subtrees(self):
+        tree = self._tree()
+        pruned, hidden = filter_span_tree(tree, max_depth=1)
+        assert hidden == 1  # "tiny" below depth 1
+        assert [c["name"] for c in pruned["children"]] == ["big", "small"]
+        pruned0, hidden0 = filter_span_tree(tree, max_depth=0)
+        assert pruned0["children"] == [] and hidden0 == 3
+
+    def test_root_always_survives_and_original_untouched(self):
+        tree = self._tree()
+        pruned, _ = filter_span_tree(tree, min_self_ms=1e9)
+        assert pruned["name"] == "root" and pruned["children"] == []
+        assert len(tree["children"]) == 2  # input not mutated
+        assert render_span_tree(pruned).startswith("root")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus HELP lines
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusHelp:
+    def test_every_family_gets_one_help_line_before_type(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", method="analyze").inc()
+        registry.counter("made_up_total").inc()
+        registry.histogram("request_seconds", method="analyze").observe(0.01)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        for family in ("repro_requests_total", "repro_made_up_total", "repro_request_seconds"):
+            helps = [l for l in lines if l.startswith(f"# HELP {family} ")]
+            assert len(helps) == 1, f"{family}: {helps}"
+            assert lines[lines.index(helps[0]) + 1].startswith(f"# TYPE {family} ")
+        # Registered text for known families, generic fallback otherwise.
+        assert any(
+            l.startswith("# HELP repro_requests_total Protocol requests")
+            for l in lines
+        )
+        assert "# HELP repro_made_up_total repro metric made_up_total." in lines
+
+    def test_help_text_is_escaped(self):
+        from repro.obs.export import register_help
+
+        registry = MetricsRegistry()
+        registry.counter("weird_total").inc()
+        register_help("weird_total", "line one\nline two \\ done")
+        try:
+            text = render_prometheus(registry.snapshot())
+        finally:
+            from repro.obs.export import _HELP_TEXTS
+
+            _HELP_TEXTS.pop("weird_total", None)
+        assert "# HELP repro_weird_total line one\\nline two \\\\ done\n" in text
+
+    def test_exposition_still_parses_round_trip(self):
+        """The quote-aware parser reads label values back despite HELP lines."""
+        from repro.obs.metrics import parse_series
+
+        registry = MetricsRegistry()
+        registry.counter("cache_get_total", kind='tricky"name', tier="memory").inc(2)
+        text = render_prometheus(registry.snapshot())
+        series_lines = [
+            l for l in text.splitlines() if l.startswith("repro_cache_get_total{")
+        ]
+        assert len(series_lines) == 1
+        series = series_lines[0].rsplit(" ", 1)[0]
+        name, labels = parse_series(series[len("repro_"):])
+        assert name == "cache_get_total"
+        assert labels == {"kind": 'tricky"name', "tier": "memory"}
+
+
+# ---------------------------------------------------------------------------
+# Slow-log worker attribution
+# ---------------------------------------------------------------------------
+
+
+class TestSlowLogAttribution:
+    def test_entry_carries_workers_and_trace_path(self):
+        log = SlowLog(threshold_ms=1.0)
+        retained = log.observe(
+            "warm",
+            25.0,
+            trace_id="a" * 16,
+            trace={"name": "warm", "attrs": {}, "children": []},
+            workers=["123", "456"],
+            trace_path="/tmp/traces/trace-aaaa.json",
+        )
+        assert retained
+        entry = log.entries()[0]
+        assert entry["workers"] == ["123", "456"]
+        assert entry["trace_path"] == "/tmp/traces/trace-aaaa.json"
+
+    def test_attribution_fields_omitted_when_absent(self):
+        log = SlowLog(threshold_ms=1.0)
+        log.observe("analyze", 25.0, trace_id="b" * 16)
+        entry = log.entries()[0]
+        assert "workers" not in entry
+        assert "trace_path" not in entry
+
+
+# ---------------------------------------------------------------------------
+# The `repro top` dashboard
+# ---------------------------------------------------------------------------
+
+
+class TestDashboard:
+    METRICS = {
+        "counters": {
+            'cache_get_total{kind="record",tier="memory"}': 6.0,
+            'cache_get_total{kind="record",tier="miss"}': 2.0,
+            'fanout_chunks_total{worker="111"}': 3.0,
+            'fanout_chunks_total{worker="222"}': 1.0,
+        },
+        "gauges": {"server_inflight": 2.0},
+        "histograms": {
+            'fanout_busy_seconds{worker="111"}': {"count": 3, "sum": 0.75},
+            'fanout_busy_seconds{worker="222"}': {"count": 1, "sum": 0.25},
+        },
+    }
+    HEALTH = {
+        "uptime_seconds": 3723.0,
+        "requests_total": 100,
+        "error_rate": 0.02,
+        "inflight": 1,
+        "open_connections": 4,
+        "methods": {
+            "analyze": {"count": 80, "errors": 2, "p50_ms": 3.0, "p95_ms": 9.0, "p99_ms": 20.0},
+        },
+    }
+    SLOWLOG = {
+        "threshold_ms": 15.0,
+        "entries": [
+            {
+                "trace_id": "c" * 16,
+                "method": "warm",
+                "status": "ok",
+                "duration_ms": 120.0,
+                "workers": ["111", "222"],
+            }
+        ],
+    }
+
+    def test_frame_covers_header_methods_cache_workers_slowlog(self):
+        frame = build_frame(self.METRICS, self.HEALTH, self.SLOWLOG)
+        text = "\n".join(frame)
+        assert "up 1h02m" in text and "100 req" in text and "2.00% err" in text
+        assert "inflight 1" in text and "conns 4" in text
+        assert "analyze" in text and "9.0ms" in text
+        assert "record" in text and "75.0% hit" in text
+        assert "worker 111" in text and "75.0%" in text
+        assert "worker 222" in text and "25.0%" in text
+        assert "workers=111,222" in text
+        assert ("c" * 16) in text
+
+    def test_sparkline_trend_appears_after_repeat_frames(self):
+        state = TopState()
+        build_frame(self.METRICS, self.HEALTH, None, state=state)
+        health2 = json.loads(json.dumps(self.HEALTH))
+        health2["methods"]["analyze"]["p95_ms"] = 42.0
+        frame = build_frame(self.METRICS, health2, None, state=state)
+        from repro.obs.history import SPARK_GLYPHS
+
+        line = next(l for l in frame if l.strip().startswith("analyze"))
+        assert any(glyph in line for glyph in SPARK_GLYPHS)
+
+    def test_frame_degrades_without_health_or_slowlog(self):
+        frame = build_frame(self.METRICS, None, None)
+        text = "\n".join(frame)
+        assert text.startswith("repro top")
+        assert "inflight 2" in text  # falls back to the gauge
+
+    def test_cli_top_renders_frames_against_live_server(self):
+        """End to end: a real socket server, two dashboard frames."""
+        from repro.cli import main
+        from repro.service.server import ThreadedAnalysisServer
+
+        with ThreadedAnalysisServer(port=0, workers=2) as server:
+            out = io.StringIO()
+            rc = main(
+                [
+                    "top",
+                    "--port", str(server.address[1]),
+                    "--interval", "0.01",
+                    "--frames", "2",
+                    "--no-clear",
+                ],
+                out=out,
+            )
+            text = out.getvalue()
+        assert rc == 0
+        assert text.count("repro top") == 2
+        assert "uptime" not in text  # rendered compactly, not raw JSON
+
+
+# ---------------------------------------------------------------------------
+# The analyze CLI round trip
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeTraceCli:
+    def test_traced_workers_analyze_prints_tree_and_fanout(self, tmp_path):
+        from repro.cli import main
+
+        source_path = tmp_path / "prog.mr"
+        source_path.write_text(SOURCE)
+        chrome_path = tmp_path / "trace.json"
+        out = io.StringIO()
+        rc = main(
+            [
+                "analyze", str(source_path),
+                "--workers", "2",
+                "--trace",
+                "--chrome", str(chrome_path),
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "// scheduled 7 function(s)" in text
+        assert "// trace " in text
+        assert "fan-out: mode " in text
+        assert chrome_path.exists()
+        if "mode: parallel" in text:
+            document = json.loads(chrome_path.read_text())
+            tids = {e["tid"] for e in document["traceEvents"] if e["ph"] == "X"}
+            assert len(tids) >= 2
+
+    def test_untraced_analyze_output_has_no_trace_trailer(self, tmp_path):
+        from repro.cli import main
+
+        source_path = tmp_path / "prog.mr"
+        source_path.write_text(SOURCE)
+        out = io.StringIO()
+        rc = main(["analyze", str(source_path), "--workers", "2"], out=out)
+        assert rc == 0
+        assert "// trace" not in out.getvalue()
+        assert "fan-out" not in out.getvalue()
+
+    def test_serial_trace_flag_works_without_workers(self, tmp_path):
+        from repro.cli import main
+
+        source_path = tmp_path / "prog.mr"
+        source_path.write_text(SOURCE)
+        out = io.StringIO()
+        rc = main(["analyze", str(source_path), "--trace"], out=out)
+        assert rc == 0
+        assert "// trace " in out.getvalue()
+
+    def test_trace_cli_noise_filter_reports_hidden_spans(self, tmp_path):
+        from repro.cli import main
+
+        source_path = tmp_path / "prog.mr"
+        source_path.write_text(SOURCE)
+        out = io.StringIO()
+        rc = main(
+            ["trace", str(source_path), "--min-self-ms", "99999", "--depth", "1"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert rc == 0
+        assert "hidden by --min-self-ms/--depth" in text
+        # The root line always survives the filter.
+        assert "analyze" in text
